@@ -1,0 +1,42 @@
+# PRIVATE-IYE development targets. Everything is stdlib Go; no tools
+# beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench attack experiments examples fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+attack:
+	$(GO) run ./cmd/piye-attack
+
+experiments:
+	$(GO) run ./cmd/piye-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clinical
+	$(GO) run ./examples/outbreak
+	$(GO) run ./examples/federation
+	$(GO) run ./examples/policytour
+
+fmt:
+	gofmt -w .

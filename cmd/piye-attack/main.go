@@ -1,0 +1,54 @@
+// Command piye-attack reproduces Figure 1 of the PRIVATE-IYE paper end to
+// end: it publishes the clinical compliance aggregates exactly as the
+// paper's integrator did (tables a and b), shows the snooping HMO1's
+// knowledge (table c), and runs the nonlinear-programming inference attack
+// to regenerate the hidden-value intervals of table d, side by side with
+// the paper's printed values.
+//
+// Usage:
+//
+//	piye-attack [-fast]
+//
+// -fast trades a few tenths of a percentage point of interval tightness
+// for a much quicker solve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privateiye/internal/experiments"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "use the fast solver settings")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "piye-attack:", err)
+		os.Exit(1)
+	}
+
+	a, err := experiments.Fig1a()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(a)
+	b, err := experiments.Fig1b()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(b)
+	c, err := experiments.Fig1c()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(c)
+	fmt.Println("running the snooping attack (nonlinear programming over the published aggregates)...")
+	d, err := experiments.Fig1d(!*fast)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(d.Table)
+}

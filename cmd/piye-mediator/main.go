@@ -1,0 +1,69 @@
+// Command piye-mediator runs the PRIVATE-IYE mediation engine as an HTTP
+// service over a set of source nodes.
+//
+// Usage:
+//
+//	piye-mediator -addr :7100 \
+//	    -source hospitalA=http://localhost:7101 \
+//	    -source hospitalB=http://localhost:7102 \
+//	    -dedup name -warehouse 64
+//
+// Endpoints: POST /query (PIQL body, X-Requester header), GET /schema,
+// GET /history, POST /refresh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"privateiye/internal/mediator"
+	"privateiye/internal/source"
+)
+
+type sourceFlags []string
+
+func (s *sourceFlags) String() string { return strings.Join(*s, ",") }
+func (s *sourceFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":7100", "listen address")
+	var sources sourceFlags
+	flag.Var(&sources, "source", "source as name=url (repeatable)")
+	dedup := flag.String("dedup", "", "result column for fuzzy duplicate elimination")
+	whCap := flag.Int("warehouse", 0, "warehouse capacity (0 = pure virtual querying)")
+	whTTL := flag.Int64("warehouse-ttl", 100, "warehouse freshness in integration rounds")
+	salt := flag.String("salt", "privateiye-default-linking-salt", "shared linkage salt")
+	flag.Parse()
+
+	if len(sources) == 0 {
+		log.Fatal("piye-mediator: at least one -source name=url is required")
+	}
+	var eps []source.Endpoint
+	for _, s := range sources {
+		parts := strings.SplitN(s, "=", 2)
+		eps = append(eps, source.NewClient(parts[1], parts[0]))
+	}
+
+	med, err := mediator.New(mediator.Config{
+		Endpoints:         eps,
+		LinkageSalt:       []byte(*salt),
+		DedupColumn:       *dedup,
+		WarehouseCapacity: *whCap,
+		WarehouseTTL:      *whTTL,
+	})
+	if err != nil {
+		log.Fatalf("piye-mediator: %v", err)
+	}
+	log.Printf("piye-mediator serving %d sources on %s (schema: %d paths)",
+		len(eps), *addr, med.MediatedSchema().Len())
+	log.Fatal(http.ListenAndServe(*addr, mediator.NewHandler(med)))
+}

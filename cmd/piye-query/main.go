@@ -1,0 +1,120 @@
+// Command piye-query poses a PIQL query to a running mediator and prints
+// the integrated result as an aligned table.
+//
+// Usage:
+//
+//	piye-query -mediator http://localhost:7100 -requester dr-lee \
+//	    "FOR //patients/row WHERE //age > 40 RETURN //age PURPOSE research MAXLOSS 0.5"
+//
+// With no argument the query is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"privateiye/internal/mediator"
+	"privateiye/internal/xmltree"
+)
+
+func main() {
+	medURL := flag.String("mediator", "http://localhost:7100", "mediator base URL")
+	requester := flag.String("requester", "anonymous", "requester identity")
+	showSchema := flag.Bool("schema", false, "print the mediated schema instead of querying")
+	flag.Parse()
+
+	if *showSchema {
+		resp, err := http.Get(strings.TrimRight(*medURL, "/") + "/schema")
+		if err != nil {
+			log.Fatalf("piye-query: %v", err)
+		}
+		defer resp.Body.Close()
+		node, err := xmltree.Parse(resp.Body)
+		if err != nil {
+			log.Fatalf("piye-query: %v", err)
+		}
+		for _, p := range xmltree.SummaryFromNode(node).Paths() {
+			fmt.Println(p.Path)
+		}
+		return
+	}
+
+	var query string
+	if flag.NArg() > 0 {
+		query = strings.Join(flag.Args(), " ")
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatalf("piye-query: reading stdin: %v", err)
+		}
+		query = string(data)
+	}
+
+	req, err := http.NewRequest("POST", strings.TrimRight(*medURL, "/")+"/query", strings.NewReader(query))
+	if err != nil {
+		log.Fatalf("piye-query: %v", err)
+	}
+	req.Header.Set("X-Requester", *requester)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("piye-query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		log.Fatalf("piye-query: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	node, err := xmltree.Parse(resp.Body)
+	if err != nil {
+		log.Fatalf("piye-query: %v", err)
+	}
+	in, err := mediator.IntegratedFromNode(node)
+	if err != nil {
+		log.Fatalf("piye-query: %v", err)
+	}
+
+	printResult(in)
+}
+
+func printResult(in *mediator.Integrated) {
+	widths := make([]int, len(in.Result.Columns))
+	for i, c := range in.Result.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range in.Result.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%-*s", widths[i], c)
+		}
+		fmt.Println()
+	}
+	line(in.Result.Columns)
+	for _, row := range in.Result.Rows {
+		line(row)
+	}
+	fmt.Printf("\n%d rows from %v", len(in.Result.Rows), in.Answered)
+	if in.Duplicates > 0 {
+		fmt.Printf(", %d duplicates removed", in.Duplicates)
+	}
+	if in.FromWarehouse {
+		fmt.Print(" (warehoused)")
+	}
+	fmt.Println()
+	for src, reason := range in.Denied {
+		fmt.Printf("denied by %s: %s\n", src, reason)
+	}
+}

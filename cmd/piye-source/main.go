@@ -1,0 +1,126 @@
+// Command piye-source runs one PRIVATE-IYE remote source as an HTTP node.
+// It hosts a demo clinical dataset (or the Figure 1 compliance table, or
+// an outbreak surveillance stream), loads its privacy policy from an XML
+// file or uses a conservative default, and serves the source protocol:
+// /summary, /profiles, /query, /psi/*, /linkage/records.
+//
+// Usage:
+//
+//	piye-source -name hospitalA -addr :7101 -dataset patients -rows 1000
+//	piye-source -name integrator -addr :7102 -dataset compliance
+//	piye-source -name surveillance -addr :7103 -dataset outbreak -policy policy.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"privateiye/internal/clinical"
+	"privateiye/internal/policy"
+	"privateiye/internal/psi"
+	"privateiye/internal/relational"
+	"privateiye/internal/source"
+)
+
+func main() {
+	name := flag.String("name", "hospitalA", "source name")
+	addr := flag.String("addr", ":7101", "listen address")
+	dataset := flag.String("dataset", "patients", "dataset: patients | compliance | outbreak")
+	rows := flag.Int("rows", 1000, "dataset size (patients/outbreak days)")
+	seed := flag.Uint64("seed", 1, "data generator seed")
+	policyFile := flag.String("policy", "", "privacy policy XML file (default: built-in research policy)")
+	prefFiles := flag.String("preferences", "", "comma-separated data-subject preference XML files")
+	salt := flag.String("salt", "privateiye-default-linking-salt", "shared linkage salt")
+	flag.Parse()
+
+	cat := relational.NewCatalog()
+	g := clinical.NewGenerator(*seed)
+	switch *dataset {
+	case "patients":
+		tab, err := g.Patients("patients", *rows, 4)
+		if err != nil {
+			log.Fatalf("piye-source: %v", err)
+		}
+		must(cat.Add(tab))
+	case "compliance":
+		tab, err := clinical.ComplianceTable("compliance", clinical.HMOs, clinical.Tests, clinical.Figure1GroundTruth())
+		if err != nil {
+			log.Fatalf("piye-source: %v", err)
+		}
+		must(cat.Add(tab))
+	case "outbreak":
+		tab, err := g.Outbreak("events", *rows)
+		if err != nil {
+			log.Fatalf("piye-source: %v", err)
+		}
+		must(cat.Add(tab))
+	default:
+		log.Fatalf("piye-source: unknown dataset %q", *dataset)
+	}
+
+	pol, err := loadPolicy(*policyFile, *name)
+	if err != nil {
+		log.Fatalf("piye-source: %v", err)
+	}
+
+	src, err := source.New(source.Config{Name: *name, Catalog: cat, Policy: pol, Seed: *seed})
+	if err != nil {
+		log.Fatalf("piye-source: %v", err)
+	}
+	if *prefFiles != "" {
+		for _, f := range strings.Split(*prefFiles, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("piye-source: reading preference %s: %v", f, err)
+			}
+			pref, err := policy.ParsePolicy(string(data))
+			if err != nil {
+				log.Fatalf("piye-source: preference %s: %v", f, err)
+			}
+			if err := src.AddPreference(pref); err != nil {
+				log.Fatalf("piye-source: %v", err)
+			}
+			log.Printf("piye-source %s: registered preference policy of %s", *name, pref.Owner)
+		}
+	}
+	local, err := source.NewLocal(src, []byte(*salt), psi.DefaultGroup())
+	if err != nil {
+		log.Fatalf("piye-source: %v", err)
+	}
+
+	log.Printf("piye-source %s serving %s (%s) on %s", *name, *dataset, pol.Owner, *addr)
+	log.Fatal(http.ListenAndServe(*addr, source.NewHandler(local)))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatalf("piye-source: %v", err)
+	}
+}
+
+// loadPolicy reads a policy XML file, or returns the built-in default: a
+// research-oriented policy that shares demographics exactly, zip codes as
+// ranges, diagnoses and rates only in aggregate, and denies identifiers.
+func loadPolicy(path, owner string) (*policy.Policy, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading policy: %w", err)
+		}
+		return policy.ParsePolicy(string(data))
+	}
+	return policy.NewPolicy(owner, policy.Deny,
+		policy.Rule{Item: "//row/age", Purpose: "any", Form: policy.Exact, Effect: policy.Allow, MaxLoss: 0.9},
+		policy.Rule{Item: "//row/sex", Purpose: "any", Form: policy.Exact, Effect: policy.Allow, MaxLoss: 0.9},
+		policy.Rule{Item: "//row/zip", Purpose: "research", Form: policy.Range, Effect: policy.Allow, MaxLoss: 0.7},
+		policy.Rule{Item: "//row/diagnosis", Purpose: "research", Form: policy.Aggregate, Effect: policy.Allow, MaxLoss: 0.5},
+		policy.Rule{Item: "//row/name", Purpose: "treatment", Form: policy.Exact, Effect: policy.Allow, MaxLoss: 0.9},
+		policy.Rule{Item: "//row/id", Purpose: "any", Effect: policy.Deny},
+		policy.Rule{Item: "//compliance//*", Purpose: "research", Form: policy.Aggregate, Effect: policy.Allow, MaxLoss: 0.8},
+		policy.Rule{Item: "//events//*", Purpose: "public-health", Form: policy.Exact, Effect: policy.Allow, MaxLoss: 0.9},
+	)
+}

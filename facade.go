@@ -1,0 +1,207 @@
+package privateiye
+
+// This file re-exports, as type aliases and constructor wrappers, every
+// internal type a downstream user needs to assemble and drive a
+// deployment: relational data, XML documents, the three policy languages,
+// access control, preservation techniques, auditing, PSI groups and the
+// PIQL query language. The examples/quickstart program uses only this
+// surface.
+
+import (
+	"privateiye/internal/accesscontrol"
+	"privateiye/internal/audit"
+	"privateiye/internal/clinical"
+	"privateiye/internal/mediator"
+	"privateiye/internal/piql"
+	"privateiye/internal/policy"
+	"privateiye/internal/preserve"
+	"privateiye/internal/psi"
+	"privateiye/internal/relational"
+	"privateiye/internal/source"
+	"privateiye/internal/xmltree"
+)
+
+// --- Relational data ------------------------------------------------------
+
+// Catalog is a named collection of tables forming one source's relational
+// store.
+type Catalog = relational.Catalog
+
+// Table is one relation. Schema and Column describe its shape; Row is one
+// tuple of Values.
+type (
+	Table  = relational.Table
+	Schema = relational.Schema
+	Column = relational.Column
+	Row    = relational.Row
+	Value  = relational.Value
+)
+
+// Column types.
+const (
+	TString = relational.TString
+	TFloat  = relational.TFloat
+	TInt    = relational.TInt
+	TBool   = relational.TBool
+)
+
+// NewCatalog returns an empty relational catalog.
+func NewCatalog() *Catalog { return relational.NewCatalog() }
+
+// NewTable returns an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table { return relational.NewTable(name, schema) }
+
+// NewSchema builds a schema, rejecting duplicate column names.
+func NewSchema(cols ...Column) (*Schema, error) { return relational.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(cols ...Column) *Schema { return relational.MustSchema(cols...) }
+
+// Value constructors.
+var (
+	Str   = relational.Str
+	Float = relational.Float
+	Int   = relational.Int
+	Bool  = relational.Bool
+)
+
+// --- XML documents ----------------------------------------------------------
+
+// XMLNode is one element of an XML document tree.
+type XMLNode = xmltree.Node
+
+// ParseXML parses one XML document.
+func ParseXML(src string) (*XMLNode, error) { return xmltree.ParseString(src) }
+
+// --- Policies (the three declarative languages) ----------------------------
+
+// Policy is a source policy or data-subject preference; Rule is one of its
+// rules.
+type (
+	Policy      = policy.Policy
+	Rule        = policy.Rule
+	PrivacyView = policy.PrivacyView
+	ViewItem    = policy.ViewItem
+	PurposeTree = policy.PurposeTree
+)
+
+// Rule effects and disclosure forms.
+const (
+	Allow = policy.Allow
+	Deny  = policy.Deny
+
+	FormSuppressed = policy.Suppressed
+	FormAggregate  = policy.Aggregate
+	FormRange      = policy.Range
+	FormExact      = policy.Exact
+
+	SensitivityLow    = policy.Low
+	SensitivityMedium = policy.Medium
+	SensitivityHigh   = policy.High
+)
+
+// NewPolicy compiles a policy from rules; sources fail closed without one.
+func NewPolicy(owner string, defaultEffect policy.Effect, rules ...Rule) (*Policy, error) {
+	return policy.NewPolicy(owner, defaultEffect, rules...)
+}
+
+// ParsePolicy decodes a policy from its XML text form.
+func ParsePolicy(src string) (*Policy, error) { return policy.ParsePolicy(src) }
+
+// NewPrivacyView compiles a privacy view (which paths are private at all).
+func NewPrivacyView(name string, items ...ViewItem) (*PrivacyView, error) {
+	return policy.NewPrivacyView(name, items...)
+}
+
+// DefaultPurposes returns the standard purpose taxonomy.
+func DefaultPurposes() *PurposeTree { return policy.DefaultPurposes() }
+
+// --- Access control -----------------------------------------------------------
+
+// AccessStore combines role-based access control and multi-level security.
+type AccessStore = accesscontrol.Store
+
+// NewAccessStore returns an empty RBAC+MLS store.
+func NewAccessStore() *AccessStore { return accesscontrol.NewStore() }
+
+// Access actions and multi-level security levels.
+const (
+	ActionRead  = accesscontrol.Read
+	ActionWrite = accesscontrol.Write
+
+	LevelPublic       = accesscontrol.Public
+	LevelInternal     = accesscontrol.Internal
+	LevelConfidential = accesscontrol.Confidential
+	LevelSecret       = accesscontrol.Secret
+)
+
+// --- Preservation techniques ---------------------------------------------------
+
+// PreserveRegistry maps predicted breach classes to mitigation techniques.
+type PreserveRegistry = preserve.Registry
+
+// NewPreserveRegistry returns an empty registry (identity for every
+// class); DefaultPreserveRegistry returns the standard mitigations.
+func NewPreserveRegistry() *PreserveRegistry { return preserve.NewRegistry() }
+
+// DefaultPreserveRegistry returns the standard breach-class mitigations.
+func DefaultPreserveRegistry() *PreserveRegistry { return preserve.DefaultRegistry() }
+
+// --- Auditing --------------------------------------------------------------------
+
+// AuditConfig parameterizes query-sequence inference control; AuditLog
+// keys auditors by requester.
+type (
+	AuditConfig = audit.Config
+	AuditLog    = audit.Log
+)
+
+// NewAuditLog returns a per-requester auditor registry.
+func NewAuditLog(cfg AuditConfig) (*AuditLog, error) { return audit.NewLog(cfg) }
+
+// --- PSI groups ---------------------------------------------------------------------
+
+// PSIGroup is a safe-prime Diffie-Hellman group for private set
+// intersection.
+type PSIGroup = psi.Group
+
+// DefaultPSIGroup returns the production 2048-bit RFC 3526 group;
+// TestPSIGroup the fast 768-bit group for tests and demos.
+func DefaultPSIGroup() *PSIGroup { return psi.DefaultGroup() }
+
+// TestPSIGroup returns the fast 768-bit Oakley group (demos only).
+func TestPSIGroup() *PSIGroup { return psi.TestGroup() }
+
+// --- Queries --------------------------------------------------------------------------
+
+// Query is a parsed PIQL query; Result a rectangular query result.
+type (
+	Query  = piql.Query
+	Result = piql.Result
+)
+
+// ParseQuery parses PIQL text.
+func ParseQuery(src string) (*Query, error) { return piql.Parse(src) }
+
+// --- Mediation extras --------------------------------------------------------------------
+
+// Endpoint is the mediator's view of one source (local or HTTP).
+type Endpoint = source.Endpoint
+
+// PrivateOverlap counts |A ∩ B| of two sources' field values via relayed
+// PSI: neither source reveals its set; the caller learns only the size.
+func PrivateOverlap(a, b Endpoint, field string) (int, error) {
+	return mediator.PrivateOverlap(a, b, field)
+}
+
+// ReleaseDecision is the Privacy Control verdict on an aggregate release.
+type ReleaseDecision = mediator.ReleaseDecision
+
+// --- Demo data -------------------------------------------------------------------------------
+
+// Generator produces deterministic synthetic clinical workloads (patients,
+// compliance matrices, outbreak streams) for demos and benchmarks.
+type Generator = clinical.Generator
+
+// NewGenerator returns a deterministic workload generator.
+func NewGenerator(seed uint64) *Generator { return clinical.NewGenerator(seed) }

@@ -1,0 +1,3 @@
+module privateiye
+
+go 1.22

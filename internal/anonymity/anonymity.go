@@ -1,0 +1,327 @@
+// Package anonymity implements k-anonymity by generalization and
+// suppression — the anonymity measure the paper's Loss Computation module
+// names explicitly ("anonymity is an established measure of privacy,
+// including concepts such as k-anonymity", Section 4, citing Samarati &
+// Sweeney [37] and Jiang & Clifton [28]).
+//
+// Two algorithms are provided: Samarati's binary search over the
+// generalization lattice (optimal height, with a row-suppression budget)
+// and Sweeney's Datafly greedy heuristic (generalize the quasi-identifier
+// with the most distinct values until every equivalence class reaches k).
+// Both work on the string-grid results that flow through the rest of the
+// framework.
+package anonymity
+
+import (
+	"fmt"
+	"strings"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/preserve"
+)
+
+// QuasiIdentifier pairs a result column with its generalization hierarchy.
+type QuasiIdentifier struct {
+	Column    string
+	Hierarchy *preserve.Hierarchy
+}
+
+// Config parameterizes anonymization.
+type Config struct {
+	// K is the required minimum equivalence-class size.
+	K int
+	// QIs are the quasi-identifier columns with hierarchies.
+	QIs []QuasiIdentifier
+	// MaxSuppression is the fraction of rows that may be suppressed
+	// (dropped) instead of generalized further. 0 forbids suppression.
+	MaxSuppression float64
+}
+
+// Validate checks the configuration against a result shape.
+func (c *Config) Validate(res *piql.Result) error {
+	if c.K < 2 {
+		return fmt.Errorf("anonymity: k = %d, need >= 2", c.K)
+	}
+	if len(c.QIs) == 0 {
+		return fmt.Errorf("anonymity: no quasi-identifiers configured")
+	}
+	if c.MaxSuppression < 0 || c.MaxSuppression >= 1 {
+		return fmt.Errorf("anonymity: suppression budget %v out of [0,1)", c.MaxSuppression)
+	}
+	for _, qi := range c.QIs {
+		if colIdx(res, qi.Column) < 0 {
+			return fmt.Errorf("anonymity: result has no column %q", qi.Column)
+		}
+		if qi.Hierarchy == nil || qi.Hierarchy.Depth() == 0 {
+			return fmt.Errorf("anonymity: column %q has no hierarchy", qi.Column)
+		}
+	}
+	return nil
+}
+
+// Solution is an anonymization outcome.
+type Solution struct {
+	// Levels[i] is the generalization level applied to Config.QIs[i].
+	Levels []int
+	// Result is the anonymized table, suppressed rows removed.
+	Result *piql.Result
+	// Suppressed is the number of rows dropped.
+	Suppressed int
+	// MinClassSize is the size of the smallest surviving equivalence
+	// class (>= K by construction).
+	MinClassSize int
+}
+
+// Height is the total generalization applied (sum of levels) — Samarati's
+// lattice height, also the basis of the Prec information-loss metric.
+func (s *Solution) Height() int {
+	h := 0
+	for _, l := range s.Levels {
+		h += l
+	}
+	return h
+}
+
+func colIdx(res *piql.Result, name string) int {
+	for i, c := range res.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// generalizeRows produces the QI key of every row at the given levels.
+func generalizeRows(res *piql.Result, qis []QuasiIdentifier, idx []int, levels []int) []string {
+	keys := make([]string, len(res.Rows))
+	var b strings.Builder
+	for r, row := range res.Rows {
+		b.Reset()
+		for i, qi := range qis {
+			b.WriteString(qi.Hierarchy.Apply(row[idx[i]], levels[i]))
+			b.WriteByte('\x00')
+		}
+		keys[r] = b.String()
+	}
+	return keys
+}
+
+// classSizes maps QI key -> row count.
+func classSizes(keys []string) map[string]int {
+	m := map[string]int{}
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+// evaluateNode counts how many rows would need suppression at the given
+// levels (rows in classes smaller than k).
+func evaluateNode(res *piql.Result, qis []QuasiIdentifier, idx, levels []int, k int) (suppressed int) {
+	keys := generalizeRows(res, qis, idx, levels)
+	sizes := classSizes(keys)
+	for _, n := range sizes {
+		if n < k {
+			suppressed += n
+		}
+	}
+	return suppressed
+}
+
+// materialize builds the anonymized result at the given levels, dropping
+// rows in undersized classes.
+func materialize(res *piql.Result, qis []QuasiIdentifier, idx, levels []int, k int) *Solution {
+	keys := generalizeRows(res, qis, idx, levels)
+	sizes := classSizes(keys)
+	out := &piql.Result{Columns: append([]string(nil), res.Columns...)}
+	suppressed := 0
+	minClass := 0
+	for r, row := range res.Rows {
+		if sizes[keys[r]] < k {
+			suppressed++
+			continue
+		}
+		nr := append([]string(nil), row...)
+		for i := range qis {
+			nr[idx[i]] = qis[i].Hierarchy.Apply(row[idx[i]], levels[i])
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	for _, n := range sizes {
+		if n >= k && (minClass == 0 || n < minClass) {
+			minClass = n
+		}
+	}
+	return &Solution{
+		Levels:       append([]int(nil), levels...),
+		Result:       out,
+		Suppressed:   suppressed,
+		MinClassSize: minClass,
+	}
+}
+
+// Samarati finds a minimum-height generalization satisfying k-anonymity
+// within the suppression budget, by binary search on lattice height. Among
+// nodes at the chosen height, the one suppressing fewest rows wins.
+func Samarati(res *piql.Result, cfg Config) (*Solution, error) {
+	if err := cfg.Validate(res); err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("anonymity: empty input")
+	}
+	idx := qiIndexes(res, cfg.QIs)
+	maxLevels := make([]int, len(cfg.QIs))
+	maxHeight := 0
+	for i, qi := range cfg.QIs {
+		maxLevels[i] = qi.Hierarchy.Depth() - 1
+		maxHeight += maxLevels[i]
+	}
+	budget := int(cfg.MaxSuppression * float64(len(res.Rows)))
+
+	bestAtHeight := func(h int) ([]int, bool) {
+		var best []int
+		bestSup := -1
+		enumerateNodes(maxLevels, h, func(levels []int) {
+			sup := evaluateNode(res, cfg.QIs, idx, levels, cfg.K)
+			if sup <= budget && (bestSup < 0 || sup < bestSup) {
+				best = append([]int(nil), levels...)
+				bestSup = sup
+			}
+		})
+		return best, best != nil
+	}
+
+	// The top node generalizes everything to one class; with k <= rows it
+	// always satisfies, so the search is well-defined unless the table
+	// itself is smaller than k.
+	if len(res.Rows) < cfg.K {
+		return nil, fmt.Errorf("anonymity: %d rows cannot be %d-anonymous", len(res.Rows), cfg.K)
+	}
+
+	lo, hi := 0, maxHeight
+	var found []int
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if levels, ok := bestAtHeight(mid); ok {
+			found = levels
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("anonymity: no satisfying generalization (k=%d, budget=%d rows)", cfg.K, budget)
+	}
+	return materialize(res, cfg.QIs, idx, found, cfg.K), nil
+}
+
+// Datafly is Sweeney's greedy heuristic: while some class is undersized,
+// generalize the quasi-identifier with the most distinct values one more
+// level; when all hierarchies are exhausted or the undersized remainder
+// fits the suppression budget, suppress it.
+func Datafly(res *piql.Result, cfg Config) (*Solution, error) {
+	if err := cfg.Validate(res); err != nil {
+		return nil, err
+	}
+	if len(res.Rows) < cfg.K {
+		return nil, fmt.Errorf("anonymity: %d rows cannot be %d-anonymous", len(res.Rows), cfg.K)
+	}
+	idx := qiIndexes(res, cfg.QIs)
+	levels := make([]int, len(cfg.QIs))
+	budget := int(cfg.MaxSuppression * float64(len(res.Rows)))
+
+	for {
+		sup := evaluateNode(res, cfg.QIs, idx, levels, cfg.K)
+		if sup <= budget {
+			return materialize(res, cfg.QIs, idx, levels, cfg.K), nil
+		}
+		// Generalize the QI with the most distinct generalized values.
+		target, most := -1, -1
+		for i, qi := range cfg.QIs {
+			if levels[i] >= qi.Hierarchy.Depth()-1 {
+				continue
+			}
+			distinct := map[string]bool{}
+			for _, row := range res.Rows {
+				distinct[qi.Hierarchy.Apply(row[idx[i]], levels[i])] = true
+			}
+			if len(distinct) > most {
+				most = len(distinct)
+				target = i
+			}
+		}
+		if target < 0 {
+			// Fully generalized and still over budget: only possible if
+			// the top node itself is undersized, which the row-count guard
+			// excludes; defensive error.
+			return nil, fmt.Errorf("anonymity: datafly exhausted hierarchies with %d rows unsuppressible", sup)
+		}
+		levels[target]++
+	}
+}
+
+// Verify checks that a result is k-anonymous with respect to the QI
+// columns, returning the minimum class size found.
+func Verify(res *piql.Result, qiColumns []string, k int) (bool, int, error) {
+	idx := make([]int, len(qiColumns))
+	for i, c := range qiColumns {
+		idx[i] = colIdx(res, c)
+		if idx[i] < 0 {
+			return false, 0, fmt.Errorf("anonymity: no column %q", c)
+		}
+	}
+	if len(res.Rows) == 0 {
+		return true, 0, nil
+	}
+	counts := map[string]int{}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.Reset()
+		for _, i := range idx {
+			b.WriteString(row[i])
+			b.WriteByte('\x00')
+		}
+		counts[b.String()]++
+	}
+	min := -1
+	for _, n := range counts {
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	return min >= k, min, nil
+}
+
+func qiIndexes(res *piql.Result, qis []QuasiIdentifier) []int {
+	idx := make([]int, len(qis))
+	for i, qi := range qis {
+		idx[i] = colIdx(res, qi.Column)
+	}
+	return idx
+}
+
+// enumerateNodes calls visit for every level vector bounded by maxLevels
+// whose components sum to height.
+func enumerateNodes(maxLevels []int, height int, visit func([]int)) {
+	levels := make([]int, len(maxLevels))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(levels) {
+			if remaining == 0 {
+				visit(levels)
+			}
+			return
+		}
+		hi := maxLevels[i]
+		if hi > remaining {
+			hi = remaining
+		}
+		for v := 0; v <= hi; v++ {
+			levels[i] = v
+			rec(i+1, remaining-v)
+		}
+		levels[i] = 0
+	}
+	rec(0, height)
+}

@@ -1,0 +1,276 @@
+package anonymity
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"privateiye/internal/piql"
+)
+
+// l-diversity extends k-anonymity: a k-anonymous release still leaks when
+// an equivalence class, though large, is homogeneous in its sensitive
+// attribute — every member of the class shares the diagnosis, so class
+// membership alone discloses it (the homogeneity attack of Machanavajjhala
+// et al., the direct successor of the k-anonymity work the paper cites).
+// This file adds distinct and entropy l-diversity checking, and an
+// anonymizer that searches for a generalization satisfying both k and l.
+
+// DiversityKind selects the l-diversity instantiation.
+type DiversityKind int
+
+const (
+	// Distinct l-diversity: every class has at least l distinct sensitive
+	// values.
+	Distinct DiversityKind = iota
+	// Entropy l-diversity: every class's sensitive-value entropy is at
+	// least log(l).
+	Entropy
+)
+
+// String names the kind.
+func (d DiversityKind) String() string {
+	if d == Entropy {
+		return "entropy"
+	}
+	return "distinct"
+}
+
+// DiversityConfig extends Config with the sensitive attribute and l.
+type DiversityConfig struct {
+	Config
+	// Sensitive is the sensitive column whose values must stay diverse.
+	Sensitive string
+	// L is the required diversity.
+	L int
+	// Kind selects distinct or entropy l-diversity.
+	Kind DiversityKind
+}
+
+// Validate extends Config validation.
+func (c *DiversityConfig) Validate(res *piql.Result) error {
+	if err := c.Config.Validate(res); err != nil {
+		return err
+	}
+	if c.L < 2 {
+		return fmt.Errorf("anonymity: l = %d, need >= 2", c.L)
+	}
+	if colIdx(res, c.Sensitive) < 0 {
+		return fmt.Errorf("anonymity: result has no sensitive column %q", c.Sensitive)
+	}
+	for _, qi := range c.QIs {
+		if qi.Column == c.Sensitive {
+			return fmt.Errorf("anonymity: sensitive column %q cannot be a quasi-identifier", c.Sensitive)
+		}
+	}
+	return nil
+}
+
+// VerifyDiversity checks whether a result is l-diverse over the given
+// quasi-identifier columns and sensitive column. It returns the worst
+// class's diversity: the distinct-value count for Distinct, or exp(H) for
+// Entropy (so the same ">= l" reading applies to both).
+func VerifyDiversity(res *piql.Result, qiColumns []string, sensitive string, l int, kind DiversityKind) (bool, float64, error) {
+	if l < 2 {
+		return false, 0, fmt.Errorf("anonymity: l = %d", l)
+	}
+	si := colIdx(res, sensitive)
+	if si < 0 {
+		return false, 0, fmt.Errorf("anonymity: no column %q", sensitive)
+	}
+	idx := make([]int, len(qiColumns))
+	for i, c := range qiColumns {
+		idx[i] = colIdx(res, c)
+		if idx[i] < 0 {
+			return false, 0, fmt.Errorf("anonymity: no column %q", c)
+		}
+	}
+	if len(res.Rows) == 0 {
+		return true, 0, nil
+	}
+	classes := map[string]map[string]int{}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.Reset()
+		for _, i := range idx {
+			b.WriteString(row[i])
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if classes[k] == nil {
+			classes[k] = map[string]int{}
+		}
+		classes[k][row[si]]++
+	}
+	worst := math.Inf(1)
+	for _, values := range classes {
+		var d float64
+		switch kind {
+		case Distinct:
+			d = float64(len(values))
+		case Entropy:
+			total := 0
+			for _, n := range values {
+				total += n
+			}
+			h := 0.0
+			for _, n := range values {
+				p := float64(n) / float64(total)
+				h -= p * math.Log(p)
+			}
+			d = math.Exp(h)
+		}
+		if d < worst {
+			worst = d
+		}
+	}
+	return worst >= float64(l), worst, nil
+}
+
+// AnonymizeDiverse finds a minimum-height generalization satisfying both
+// k-anonymity and l-diversity within the suppression budget, by the same
+// Samarati-style lattice search with the composite predicate. Rows in
+// classes failing either property are suppressed when the budget allows.
+func AnonymizeDiverse(res *piql.Result, cfg DiversityConfig) (*Solution, error) {
+	if err := cfg.Validate(res); err != nil {
+		return nil, err
+	}
+	if len(res.Rows) < cfg.K {
+		return nil, fmt.Errorf("anonymity: %d rows cannot be %d-anonymous", len(res.Rows), cfg.K)
+	}
+	idx := qiIndexes(res, cfg.QIs)
+	si := colIdx(res, cfg.Sensitive)
+	maxLevels := make([]int, len(cfg.QIs))
+	maxHeight := 0
+	for i, qi := range cfg.QIs {
+		maxLevels[i] = qi.Hierarchy.Depth() - 1
+		maxHeight += maxLevels[i]
+	}
+	budget := int(cfg.MaxSuppression * float64(len(res.Rows)))
+
+	// suppressionsAt counts rows needing suppression at a node: members of
+	// classes violating k or l.
+	suppressionsAt := func(levels []int) int {
+		keys := generalizeRows(res, cfg.QIs, idx, levels)
+		sizes := map[string]int{}
+		values := map[string]map[string]int{}
+		for r, k := range keys {
+			sizes[k]++
+			if values[k] == nil {
+				values[k] = map[string]int{}
+			}
+			values[k][res.Rows[r][si]]++
+		}
+		bad := map[string]bool{}
+		for k, n := range sizes {
+			if n < cfg.K {
+				bad[k] = true
+				continue
+			}
+			switch cfg.Kind {
+			case Distinct:
+				if len(values[k]) < cfg.L {
+					bad[k] = true
+				}
+			case Entropy:
+				h := 0.0
+				for _, c := range values[k] {
+					p := float64(c) / float64(n)
+					h -= p * math.Log(p)
+				}
+				if math.Exp(h) < float64(cfg.L) {
+					bad[k] = true
+				}
+			}
+		}
+		sup := 0
+		for k := range bad {
+			sup += sizes[k]
+		}
+		return sup
+	}
+
+	var found []int
+	lo, hi := 0, maxHeight
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		var best []int
+		bestSup := -1
+		enumerateNodes(maxLevels, mid, func(levels []int) {
+			sup := suppressionsAt(levels)
+			if sup <= budget && (bestSup < 0 || sup < bestSup) {
+				best = append([]int(nil), levels...)
+				bestSup = sup
+			}
+		})
+		if best != nil {
+			found = best
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("anonymity: no generalization satisfies k=%d, l=%d (%s) within budget",
+			cfg.K, cfg.L, cfg.Kind)
+	}
+
+	// Materialize, dropping members of bad classes.
+	keys := generalizeRows(res, cfg.QIs, idx, found)
+	sizes := map[string]int{}
+	values := map[string]map[string]int{}
+	for r, k := range keys {
+		sizes[k]++
+		if values[k] == nil {
+			values[k] = map[string]int{}
+		}
+		values[k][res.Rows[r][si]]++
+	}
+	bad := map[string]bool{}
+	for k, n := range sizes {
+		if n < cfg.K {
+			bad[k] = true
+			continue
+		}
+		switch cfg.Kind {
+		case Distinct:
+			if len(values[k]) < cfg.L {
+				bad[k] = true
+			}
+		case Entropy:
+			h := 0.0
+			for _, c := range values[k] {
+				p := float64(c) / float64(n)
+				h -= p * math.Log(p)
+			}
+			if math.Exp(h) < float64(cfg.L) {
+				bad[k] = true
+			}
+		}
+	}
+	out := &piql.Result{Columns: append([]string(nil), res.Columns...)}
+	suppressed := 0
+	minClass := 0
+	for r, row := range res.Rows {
+		if bad[keys[r]] {
+			suppressed++
+			continue
+		}
+		nr := append([]string(nil), row...)
+		for i := range cfg.QIs {
+			nr[idx[i]] = cfg.QIs[i].Hierarchy.Apply(row[idx[i]], found[i])
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	for k, n := range sizes {
+		if !bad[k] && (minClass == 0 || n < minClass) {
+			minClass = n
+		}
+	}
+	return &Solution{
+		Levels:       found,
+		Result:       out,
+		Suppressed:   suppressed,
+		MinClassSize: minClass,
+	}, nil
+}

@@ -1,0 +1,225 @@
+package anonymity
+
+import (
+	"math"
+	"testing"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/preserve"
+)
+
+func diversityConfig(k, l int, kind DiversityKind) DiversityConfig {
+	return DiversityConfig{
+		Config:    standardConfig(k),
+		Sensitive: "diagnosis",
+		L:         l,
+		Kind:      kind,
+	}
+}
+
+func TestDiversityConfigValidation(t *testing.T) {
+	res := patientResult(t, 50)
+	bad := []DiversityConfig{
+		{Config: standardConfig(2), Sensitive: "diagnosis", L: 1},
+		{Config: standardConfig(2), Sensitive: "nope", L: 2},
+		{Config: standardConfig(2), Sensitive: "age", L: 2}, // sensitive == QI
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(res); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	good := diversityConfig(2, 2, Distinct)
+	if err := good.Validate(res); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestVerifyDiversityHomogeneityAttack(t *testing.T) {
+	// A 2-anonymous table where one class is homogeneous in diagnosis:
+	// k-anonymity passes, l-diversity must fail.
+	res := &piql.Result{
+		Columns: []string{"age", "zip", "sex", "diagnosis"},
+		Rows: [][]string{
+			{"40-49", "152**", "F", "hiv"},
+			{"40-49", "152**", "F", "hiv"}, // homogeneous class
+			{"50-59", "152**", "M", "flu"},
+			{"50-59", "152**", "M", "diabetes"},
+		},
+	}
+	kOK, _, err := Verify(res, qiCols(), 2)
+	if err != nil || !kOK {
+		t.Fatalf("table should be 2-anonymous: %v %v", kOK, err)
+	}
+	lOK, worst, err := VerifyDiversity(res, qiCols(), "diagnosis", 2, Distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lOK {
+		t.Error("homogeneous class should fail 2-diversity")
+	}
+	if worst != 1 {
+		t.Errorf("worst diversity = %v, want 1", worst)
+	}
+}
+
+func TestVerifyDiversityEntropyStricter(t *testing.T) {
+	// A class with values {a: 9, b: 1} has 2 distinct values but entropy
+	// diversity exp(H) = exp(-(0.9 ln .9 + .1 ln .1)) ~ 1.38 < 2.
+	res := &piql.Result{Columns: []string{"age", "zip", "sex", "diagnosis"}}
+	for i := 0; i < 9; i++ {
+		res.Rows = append(res.Rows, []string{"40", "152", "F", "a"})
+	}
+	res.Rows = append(res.Rows, []string{"40", "152", "F", "b"})
+	dOK, dWorst, err := VerifyDiversity(res, qiCols(), "diagnosis", 2, Distinct)
+	if err != nil || !dOK || dWorst != 2 {
+		t.Errorf("distinct: %v %v %v", dOK, dWorst, err)
+	}
+	eOK, eWorst, err := VerifyDiversity(res, qiCols(), "diagnosis", 2, Entropy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eOK {
+		t.Error("skewed class should fail entropy 2-diversity")
+	}
+	if math.Abs(eWorst-1.384) > 0.01 {
+		t.Errorf("entropy diversity = %v, want about 1.384", eWorst)
+	}
+}
+
+func TestVerifyDiversityErrors(t *testing.T) {
+	res := patientResult(t, 10)
+	if _, _, err := VerifyDiversity(res, qiCols(), "diagnosis", 1, Distinct); err == nil {
+		t.Error("l=1 should fail")
+	}
+	if _, _, err := VerifyDiversity(res, qiCols(), "nope", 2, Distinct); err == nil {
+		t.Error("missing sensitive column should fail")
+	}
+	if _, _, err := VerifyDiversity(res, []string{"nope"}, "diagnosis", 2, Distinct); err == nil {
+		t.Error("missing QI column should fail")
+	}
+	ok, _, err := VerifyDiversity(&piql.Result{Columns: res.Columns}, qiCols(), "diagnosis", 2, Distinct)
+	if err != nil || !ok {
+		t.Errorf("empty result: %v %v", ok, err)
+	}
+}
+
+func TestAnonymizeDiverseProducesBothProperties(t *testing.T) {
+	res := patientResult(t, 500)
+	for _, kind := range []DiversityKind{Distinct, Entropy} {
+		cfg := diversityConfig(4, 2, kind)
+		sol, err := AnonymizeDiverse(res, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		kOK, minK, err := Verify(sol.Result, qiCols(), 4)
+		if err != nil || !kOK {
+			t.Errorf("%s: not 4-anonymous (min %d)", kind, minK)
+		}
+		lOK, worst, err := VerifyDiversity(sol.Result, qiCols(), "diagnosis", 2, kind)
+		if err != nil || !lOK {
+			t.Errorf("%s: not 2-diverse (worst %v)", kind, worst)
+		}
+		if sol.Suppressed > int(cfg.MaxSuppression*float64(len(res.Rows))) {
+			t.Errorf("%s: over suppression budget: %d", kind, sol.Suppressed)
+		}
+	}
+}
+
+func TestAnonymizeDiverseNeedsMoreGeneralizationThanKAlone(t *testing.T) {
+	res := patientResult(t, 300)
+	k, err := Samarati(res, standardConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl, err := AnonymizeDiverse(res, diversityConfig(3, 3, Distinct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl.Height() < k.Height() {
+		t.Errorf("adding l-diversity should never reduce generalization: %d vs %d",
+			kl.Height(), k.Height())
+	}
+}
+
+func TestAnonymizeDiverseImpossible(t *testing.T) {
+	// Single sensitive value in the whole table: no l>=2 is achievable.
+	res := &piql.Result{Columns: []string{"age", "zip", "sex", "diagnosis"}}
+	for i := 0; i < 20; i++ {
+		res.Rows = append(res.Rows, []string{"40", "15213", "F", "flu"})
+	}
+	if _, err := AnonymizeDiverse(res, diversityConfig(2, 2, Distinct)); err == nil {
+		t.Error("homogeneous table cannot be diversified")
+	}
+}
+
+func TestDiversityKindString(t *testing.T) {
+	if Distinct.String() != "distinct" || Entropy.String() != "entropy" {
+		t.Error("kind names")
+	}
+	_ = preserve.AgeHierarchy // keep import shape stable
+}
+
+func TestTechniqueIntegratesWithRegistry(t *testing.T) {
+	res := patientResult(t, 300)
+	tech := Technique{Cfg: standardConfig(5)}
+	out, err := tech.Apply(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, min, err := Verify(out, qiCols(), 5)
+	if err != nil || !ok {
+		t.Fatalf("technique output not 5-anonymous: min %d, %v", min, err)
+	}
+	// Routed through a registry like any other technique.
+	reg := preserve.NewRegistry()
+	reg.Register(preserve.BreachIdentity, tech)
+	via, err := reg.For(preserve.BreachIdentity).Apply(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(via.Rows) != len(out.Rows) {
+		t.Errorf("registry routing changed the result: %d vs %d rows", len(via.Rows), len(out.Rows))
+	}
+	// Samarati variant also certifies.
+	sam := Technique{Cfg: standardConfig(5), UseSamarati: true}
+	if out, err := sam.Apply(res, nil); err != nil {
+		t.Fatal(err)
+	} else if ok, _, _ := Verify(out, qiCols(), 5); !ok {
+		t.Error("samarati variant not anonymous")
+	}
+	if tech.Name() != "kanonymize(k=5,datafly)" || sam.Name() != "kanonymize(k=5,samarati)" {
+		t.Errorf("names: %q %q", tech.Name(), sam.Name())
+	}
+}
+
+func TestTechniqueEdgeCases(t *testing.T) {
+	tech := Technique{Cfg: standardConfig(5)}
+	// No QI columns present: pass-through copy.
+	res := &piql.Result{Columns: []string{"rate"}, Rows: [][]string{{"70"}, {"80"}}}
+	out, err := tech.Apply(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 || out.Rows[0][0] != "70" {
+		t.Errorf("pass-through = %v", out.Rows)
+	}
+	out.Rows[0][0] = "tamper"
+	if res.Rows[0][0] == "tamper" {
+		t.Error("pass-through must copy")
+	}
+	// Fewer rows than k: everything suppressed, not an error.
+	tiny := &piql.Result{Columns: []string{"age", "zip", "sex"}, Rows: [][]string{{"40", "15213", "F"}}}
+	out, err = tech.Apply(tiny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 0 {
+		t.Errorf("undersized input should suppress all rows: %v", out.Rows)
+	}
+	// Empty input passes through.
+	empty := &piql.Result{Columns: []string{"age", "zip", "sex"}}
+	if out, err := tech.Apply(empty, nil); err != nil || len(out.Rows) != 0 {
+		t.Errorf("empty: %v %v", out, err)
+	}
+}

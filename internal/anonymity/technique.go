@@ -1,0 +1,85 @@
+package anonymity
+
+import (
+	"fmt"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/preserve"
+	"privateiye/internal/stats"
+)
+
+// Technique adapts k-anonymization into the preservation-technique
+// interface, so a source's Privacy Preservation KB can route
+// identity-disclosure breaches to *certified* k-anonymity instead of fixed
+// generalization levels: the default registry's pipelines coarsen blindly,
+// while this one generalizes exactly as much as the data requires and
+// verifies the property before releasing.
+//
+// Columns named in the config but absent from a particular result are
+// skipped; if no quasi-identifier column is present at all, the result
+// passes through unchanged (nothing to re-identify on).
+type Technique struct {
+	// Cfg is the anonymization configuration. K and QIs are required.
+	Cfg Config
+	// UseSamarati selects the lattice-optimal search instead of the
+	// Datafly greedy (slower, minimal generalization height).
+	UseSamarati bool
+}
+
+// Name implements preserve.Technique.
+func (t Technique) Name() string {
+	alg := "datafly"
+	if t.UseSamarati {
+		alg = "samarati"
+	}
+	return fmt.Sprintf("kanonymize(k=%d,%s)", t.Cfg.K, alg)
+}
+
+// Apply implements preserve.Technique.
+func (t Technique) Apply(res *piql.Result, _ *stats.Rand) (*piql.Result, error) {
+	// Restrict the configuration to the QI columns actually present.
+	cfg := t.Cfg
+	cfg.QIs = nil
+	for _, qi := range t.Cfg.QIs {
+		if colIdx(res, qi.Column) >= 0 {
+			cfg.QIs = append(cfg.QIs, qi)
+		}
+	}
+	if len(cfg.QIs) == 0 || len(res.Rows) == 0 {
+		out := &piql.Result{Columns: append([]string(nil), res.Columns...)}
+		for _, r := range res.Rows {
+			out.Rows = append(out.Rows, append([]string(nil), r...))
+		}
+		return out, nil
+	}
+	if len(res.Rows) < cfg.K {
+		// Too small to anonymize: suppress everything rather than leak.
+		return &piql.Result{Columns: append([]string(nil), res.Columns...)}, nil
+	}
+	var sol *Solution
+	var err error
+	if t.UseSamarati {
+		sol, err = Samarati(res, cfg)
+	} else {
+		sol, err = Datafly(res, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("anonymity: technique: %w", err)
+	}
+	// Certify before release.
+	cols := make([]string, len(cfg.QIs))
+	for i, qi := range cfg.QIs {
+		cols[i] = qi.Column
+	}
+	ok, minClass, err := Verify(sol.Result, cols, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("anonymity: technique produced a non-%d-anonymous result (min class %d)", cfg.K, minClass)
+	}
+	return sol.Result, nil
+}
+
+// Interface check.
+var _ preserve.Technique = Technique{}

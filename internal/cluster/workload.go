@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/stats"
+)
+
+// SyntheticWorkload generates n labelled queries spanning the breach
+// classes, with per-query variation in predicates and thresholds. It is
+// the training/evaluation workload for the clustering experiments (E6)
+// and doubles as a parser fuzz corpus.
+func SyntheticWorkload(n int, seed uint64) ([]Example, error) {
+	rng := stats.NewRand(seed)
+	diagnoses := []string{"diabetes", "asthma", "hypertension", "influenza"}
+	regions := []string{"Allegheny", "Butler", "Beaver"}
+
+	templates := []func() string{
+		// Identity disclosure: identifier output.
+		func() string {
+			return fmt.Sprintf("FOR //patient WHERE //age >= %d RETURN //name, //zip PURPOSE treatment",
+				20+rng.Intn(50))
+		},
+		// Attribute disclosure: identifier + sensitive output.
+		func() string {
+			return fmt.Sprintf("FOR //patient WHERE //zip = '152%02d' RETURN //name, //diagnosis PURPOSE research MAXLOSS 0.%d",
+				rng.Intn(40), 1+rng.Intn(8))
+		},
+		// Aggregate inference: grouped aggregates over sensitive values.
+		func() string {
+			return fmt.Sprintf("FOR //compliance//row GROUP BY //test RETURN AVG(//rate) AS avg_rate, STDDEV(//rate) AS sd_rate, COUNT(*) AS n PURPOSE research MAXLOSS 0.%d",
+				1+rng.Intn(8))
+		},
+		// Linkage: sensitive output, no direct identifier.
+		func() string {
+			return fmt.Sprintf("FOR //patient WHERE //age > %d AND //sex = '%s' RETURN //diagnosis PURPOSE epidemiology",
+				20+rng.Intn(50), []string{"M", "F"}[rng.Intn(2)])
+		},
+		// None: non-sensitive counts.
+		func() string {
+			return fmt.Sprintf("FOR //event WHERE //region = '%s' AND //day >= %d GROUP BY //region RETURN COUNT(*) AS n PURPOSE surveillance",
+				regions[rng.Intn(len(regions))], rng.Intn(60))
+		},
+		// None: plain non-sensitive retrieval.
+		func() string {
+			return fmt.Sprintf("FOR //hmo WHERE //county CONTAINS '%s' RETURN //county PURPOSE admin",
+				regions[rng.Intn(len(regions))][:3])
+		},
+		// Attribute disclosure with diagnosis predicate variation.
+		func() string {
+			return fmt.Sprintf("FOR //patient WHERE //diagnosis = '%s' RETURN //name, //dob PURPOSE research",
+				diagnoses[rng.Intn(len(diagnoses))])
+		},
+	}
+
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		src := templates[i%len(templates)]()
+		q, err := piql.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: workload template produced bad query %q: %w", src, err)
+		}
+		out = append(out, Example{Query: q, Breach: HeuristicBreach(q)})
+	}
+	return out, nil
+}

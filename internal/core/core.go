@@ -1,0 +1,125 @@
+// Package core wires the PRIVATE-IYE components into a deployable system:
+// a set of privacy-preserving sources (in-process or remote HTTP nodes)
+// behind one privacy-preserving mediation engine. It is the composition
+// the paper's Figure 2 draws — everything below it lives in the sibling
+// packages, and the public module root (package privateiye) re-exports the
+// types defined here.
+package core
+
+import (
+	"fmt"
+
+	"privateiye/internal/mediator"
+	"privateiye/internal/psi"
+	"privateiye/internal/source"
+	"privateiye/internal/xmltree"
+)
+
+// RemoteSource names a source node reachable over HTTP.
+type RemoteSource struct {
+	Name string
+	URL  string
+}
+
+// SystemConfig assembles a full deployment.
+type SystemConfig struct {
+	// Sources are built in-process from their configurations.
+	Sources []source.Config
+	// Remotes are source nodes already running elsewhere.
+	Remotes []RemoteSource
+	// LinkageSalt is the shared linking secret for private duplicate
+	// elimination and blocking; required when any dedup is configured.
+	LinkageSalt []byte
+	// PSIGroup selects the DH group (DefaultGroup when nil; TestGroup in
+	// tests/benchmarks for speed).
+	PSIGroup *psi.Group
+	// DedupColumn / DedupThreshold configure the Result Integrator's
+	// fuzzy duplicate elimination.
+	DedupColumn    string
+	DedupThreshold float64
+	// WarehouseCapacity / WarehouseTTL enable hybrid mediation.
+	WarehouseCapacity int
+	WarehouseTTL      int64
+	// MaxDisclosure is the Privacy Control threshold for aggregate
+	// releases.
+	MaxDisclosure float64
+}
+
+// System is a running PRIVATE-IYE deployment.
+type System struct {
+	med    *mediator.Mediator
+	locals []*source.Local
+	eps    []source.Endpoint
+}
+
+// NewSystem builds sources, connects remotes, and starts the mediator
+// (including the initial mediated schema generation).
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if len(cfg.Sources) == 0 && len(cfg.Remotes) == 0 {
+		return nil, fmt.Errorf("core: no sources configured")
+	}
+	salt := cfg.LinkageSalt
+	if len(salt) == 0 {
+		salt = []byte("privateiye-default-linking-salt")
+	}
+	group := cfg.PSIGroup
+	if group == nil {
+		group = psi.DefaultGroup()
+	}
+	sys := &System{}
+	for _, sc := range cfg.Sources {
+		src, err := source.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: source %s: %w", sc.Name, err)
+		}
+		local, err := source.NewLocal(src, salt, group)
+		if err != nil {
+			return nil, err
+		}
+		sys.locals = append(sys.locals, local)
+		sys.eps = append(sys.eps, local)
+	}
+	for _, r := range cfg.Remotes {
+		if r.Name == "" || r.URL == "" {
+			return nil, fmt.Errorf("core: remote source needs name and url: %+v", r)
+		}
+		sys.eps = append(sys.eps, source.NewClient(r.URL, r.Name))
+	}
+	med, err := mediator.New(mediator.Config{
+		Endpoints:         sys.eps,
+		LinkageSalt:       salt,
+		DedupColumn:       cfg.DedupColumn,
+		DedupThreshold:    cfg.DedupThreshold,
+		WarehouseCapacity: cfg.WarehouseCapacity,
+		WarehouseTTL:      cfg.WarehouseTTL,
+		MaxDisclosure:     cfg.MaxDisclosure,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.med = med
+	return sys, nil
+}
+
+// Query runs one PIQL query through the mediation engine.
+func (s *System) Query(piqlText, requester string) (*mediator.Integrated, error) {
+	return s.med.Query(piqlText, requester)
+}
+
+// Mediator exposes the mediation engine (privacy control, history,
+// warehouse statistics).
+func (s *System) Mediator() *mediator.Mediator { return s.med }
+
+// Schema returns the current mediated schema.
+func (s *System) Schema() *xmltree.Summary { return s.med.MediatedSchema() }
+
+// Endpoints returns the connected source endpoints, in configuration
+// order (locals first).
+func (s *System) Endpoints() []source.Endpoint {
+	return append([]source.Endpoint(nil), s.eps...)
+}
+
+// Locals returns the in-process sources (nil entries never occur).
+func (s *System) Locals() []*source.Local {
+	return append([]*source.Local(nil), s.locals...)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"privateiye/internal/clinical"
+	"privateiye/internal/optimizer"
+	"privateiye/internal/piql"
+	"privateiye/internal/preserve"
+	"privateiye/internal/stats"
+)
+
+// E16PlacementAblation measures the optimizer's preservation-placement
+// decision: a row-reducing technique (sampling) placed before vs after
+// filtering, and a row-preserving one (generalization) likewise. The
+// planner picks early placement only for row-reducing techniques; this
+// experiment verifies that rule against wall-clock reality.
+func E16PlacementAblation(rows int) (*Table, error) {
+	g := clinical.NewGenerator(21)
+	tab, err := g.Patients("p", rows, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &piql.Result{Columns: []string{"age", "zip", "sex"}}
+	for _, row := range tab.Rows() {
+		res.Rows = append(res.Rows, []string{row[3].String(), row[4].String(), row[2].String()})
+	}
+	// The "filter": keep rows with age > 80 (selectivity ~0.13).
+	filter := func(in *piql.Result) *piql.Result {
+		out := &piql.Result{Columns: in.Columns}
+		for _, r := range in.Rows {
+			if v, err := strconv.Atoi(r[0]); err == nil && v > 80 {
+				out.Rows = append(out.Rows, r)
+			}
+		}
+		return out
+	}
+	measure := func(tech preserve.Technique, early bool) (time.Duration, int, error) {
+		rng := stats.NewRand(5)
+		start := time.Now()
+		var out *piql.Result
+		var err error
+		if early {
+			out, err = tech.Apply(res, rng)
+			if err == nil {
+				out = filter(out)
+			}
+		} else {
+			out = filter(res)
+			out, err = tech.Apply(out, rng)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), len(out.Rows), nil
+	}
+
+	t := &Table{
+		Title:  "E16: preservation placement ablation (technique before vs after filtering)",
+		Header: []string{"technique", "placement", "time", "rows out", "planner's choice"},
+	}
+	q := piql.MustParse("FOR //p/row WHERE //age > 80 RETURN //age, //zip, //sex")
+	for _, tc := range []struct {
+		name string
+		tech preserve.Technique
+	}{
+		{"sample(10%)", preserve.RandomSample{P: 0.1}},
+		{"generalize(zip@2)", preserve.Generalize{Column: "zip", Hierarchy: preserve.ZipHierarchy(), Level: 2}},
+	} {
+		plan, err := optimizer.Optimize(q, tc.tech, optimizer.Stats{Rows: rows}, 1)
+		if err != nil {
+			return nil, err
+		}
+		choice := "late"
+		if plan.PreserveEarly {
+			choice = "early"
+		}
+		for _, early := range []bool{true, false} {
+			el, n, err := measure(tc.tech, early)
+			if err != nil {
+				return nil, err
+			}
+			placement := "late"
+			if early {
+				placement = "early"
+			}
+			mark := ""
+			if placement == choice {
+				mark = "<- chosen"
+			}
+			t.Rows = append(t.Rows, []string{
+				tc.name, placement, ms(el), strconv.Itoa(n), mark,
+			})
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d input rows; filter selectivity ~13%%", rows))
+	return t, nil
+}

@@ -1,0 +1,48 @@
+package linkage
+
+import (
+	"fmt"
+
+	"privateiye/internal/xmltree"
+)
+
+// RecordsToNode encodes records for cross-source shipping:
+//
+//	<linkage-records m="1000">
+//	  <rec id="p-17" block="ab12…">3f0e…</rec>
+//	</linkage-records>
+func RecordsToNode(recs []EncodedRecord, m int) *xmltree.Node {
+	root := xmltree.NewElem("linkage-records").SetAttr("m", fmt.Sprint(m))
+	for _, r := range recs {
+		root.Append(xmltree.NewText("rec", r.Filter.Hex()).
+			SetAttr("id", r.ID).
+			SetAttr("block", r.Block))
+	}
+	return root
+}
+
+// RecordsFromNode decodes RecordsToNode output.
+func RecordsFromNode(n *xmltree.Node) ([]EncodedRecord, error) {
+	if n.Name != "linkage-records" {
+		return nil, fmt.Errorf("linkage: expected <linkage-records>, got <%s>", n.Name)
+	}
+	mAttr, _ := n.Attr("m")
+	var m int
+	if _, err := fmt.Sscanf(mAttr, "%d", &m); err != nil || m <= 0 {
+		return nil, fmt.Errorf("linkage: bad filter size %q", mAttr)
+	}
+	var out []EncodedRecord
+	for i, c := range n.ChildrenNamed("rec") {
+		id, _ := c.Attr("id")
+		block, _ := c.Attr("block")
+		if id == "" || block == "" {
+			return nil, fmt.Errorf("linkage: record %d missing id or block", i)
+		}
+		f, err := BitsetFromHex(c.Text, m)
+		if err != nil {
+			return nil, fmt.Errorf("linkage: record %q: %w", id, err)
+		}
+		out = append(out, EncodedRecord{ID: id, Block: block, Filter: f})
+	}
+	return out, nil
+}

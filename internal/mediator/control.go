@@ -1,0 +1,120 @@
+package mediator
+
+import (
+	"fmt"
+
+	"privateiye/internal/attack"
+	"privateiye/internal/clinical"
+	"privateiye/internal/source"
+)
+
+// This file is the Privacy Control module of Figure 2(b): the mediator's
+// second-level enforcement. A release that passed every per-source check
+// can still violate privacy once integrated — Figure 1 is exactly that
+// case — so before publishing integrated aggregates the mediator runs the
+// snooping attack against its own release and refuses when it discloses
+// too much.
+
+// ReleaseDecision is the outcome of checking a proposed aggregate release.
+type ReleaseDecision struct {
+	// Allowed reports whether the release respects the threshold.
+	Allowed bool
+	// WorstDisclosure is the highest disclosure any party could achieve
+	// about any other party's hidden cell (0..1).
+	WorstDisclosure float64
+	// WorstSnooper is the party index whose knowledge achieves it.
+	WorstSnooper int
+	// Breaches lists (snooper, victim, attribute) triples above the
+	// threshold.
+	Breaches [][3]int
+}
+
+// CheckAggregateRelease simulates Figure 1 defensively: the mediator holds
+// the full confidential matrix (it computed the aggregates), so for every
+// party h it constructs the knowledge h would have — the published
+// aggregates plus h's own row — and bounds how tightly h could pin any
+// other party's hidden cells. The release is refused when any such bound
+// beats the threshold.
+//
+// The closed-form QuickBounds screen keeps this cheap enough to run on
+// every release; EXPERIMENTS.md E4/E11 validate it against the full NLP
+// attack.
+func (m *Mediator) CheckAggregateRelease(matrix [][]float64, places int, threshold float64) (*ReleaseDecision, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("mediator: disclosure threshold %v out of (0,1]", threshold)
+	}
+	pub, err := clinical.PublishFromMatrix(matrix, places)
+	if err != nil {
+		return nil, err
+	}
+	dec := &ReleaseDecision{Allowed: true, WorstSnooper: -1}
+	for h := range matrix {
+		k := attack.FromPublished(pub, h, matrix[h])
+		bounds, err := k.QuickBounds()
+		if err != nil {
+			return nil, fmt.Errorf("mediator: release check for snooper %d: %w", h, err)
+		}
+		prior := k.Hi - k.Lo
+		for victim, row := range bounds {
+			if victim == h {
+				continue
+			}
+			for attr, iv := range row {
+				d := 1 - iv.Width()/prior
+				if d > dec.WorstDisclosure {
+					dec.WorstDisclosure = d
+					dec.WorstSnooper = h
+				}
+				if d >= threshold {
+					dec.Breaches = append(dec.Breaches, [3]int{h, victim, attr})
+				}
+			}
+		}
+	}
+	if dec.WorstDisclosure >= threshold {
+		dec.Allowed = false
+	}
+	return dec, nil
+}
+
+// PrivateOverlap computes |A ∩ B| of two sources' values for a field
+// without any party revealing its set: the mediator relays the PSI
+// messages (blind at the owner, exponentiate at the peer) and compares
+// only double-blinded group elements. The mediator learns the overlap
+// size; each source learns only the other's set size. The Result
+// Integrator uses this to estimate duplication before deciding whether a
+// fuzzy dedup pass is worth its cost, and Example 2 uses it to count
+// shared patients across jurisdictions.
+func PrivateOverlap(a, b source.Endpoint, field string) (int, error) {
+	aBlind, err := a.PSIBlinded(field)
+	if err != nil {
+		return 0, fmt.Errorf("mediator: psi blind %s: %w", a.Name(), err)
+	}
+	aDouble, err := b.PSIExponentiate(aBlind)
+	if err != nil {
+		return 0, fmt.Errorf("mediator: psi exponentiate at %s: %w", b.Name(), err)
+	}
+	bBlind, err := b.PSIBlinded(field)
+	if err != nil {
+		return 0, fmt.Errorf("mediator: psi blind %s: %w", b.Name(), err)
+	}
+	bDouble, err := a.PSIExponentiate(bBlind)
+	if err != nil {
+		return 0, fmt.Errorf("mediator: psi exponentiate at %s: %w", a.Name(), err)
+	}
+	inA := map[string]bool{}
+	for _, e := range aDouble.ChildrenNamed("e") {
+		inA[e.Text] = true
+	}
+	// Count distinct double-blinded values of B present in A's set, so
+	// duplicates within one source do not inflate the overlap.
+	counted := map[string]bool{}
+	n := 0
+	for _, e := range bDouble.ChildrenNamed("e") {
+		if inA[e.Text] && !counted[e.Text] {
+			counted[e.Text] = true
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,118 @@
+package mediator
+
+import (
+	"errors"
+	"testing"
+
+	"privateiye/internal/schemamatch"
+	"privateiye/internal/source"
+	"privateiye/internal/xmltree"
+)
+
+// flakyEndpoint wraps a working endpoint and fails on command — the dead
+// or partitioned source node every federation eventually has.
+type flakyEndpoint struct {
+	source.Endpoint
+	down *bool
+}
+
+var errDown = errors.New("connection refused")
+
+func (f flakyEndpoint) FetchSummary() (*xmltree.Summary, error) {
+	if *f.down {
+		return nil, errDown
+	}
+	return f.Endpoint.FetchSummary()
+}
+
+func (f flakyEndpoint) FetchProfiles() ([]schemamatch.FieldProfile, error) {
+	if *f.down {
+		return nil, errDown
+	}
+	return f.Endpoint.FetchProfiles()
+}
+
+func (f flakyEndpoint) Query(piqlText, requester string) (*xmltree.Node, error) {
+	if *f.down {
+		return nil, errDown
+	}
+	return f.Endpoint.Query(piqlText, requester)
+}
+
+func TestIntegrationSurvivesDeadSource(t *testing.T) {
+	eps := twoHospitals(t)
+	down := false
+	eps[1] = flakyEndpoint{Endpoint: eps[1], down: &down}
+
+	m, err := New(Config{Endpoints: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "FOR //patients/row RETURN //sex PURPOSE research MAXLOSS 1"
+
+	// Healthy: both answer.
+	in, err := m.Query(q, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Answered) != 2 {
+		t.Fatalf("healthy answered = %v", in.Answered)
+	}
+
+	// Source B dies: integration continues with A, and B's failure is
+	// reported, not fatal.
+	down = true
+	in, err = m.Query(q, "r")
+	if err != nil {
+		t.Fatalf("one dead source must not kill integration: %v", err)
+	}
+	if len(in.Answered) != 1 || in.Answered[0] != "hospitalA" {
+		t.Errorf("answered = %v", in.Answered)
+	}
+	if _, failed := in.Denied["hospitalB"]; !failed {
+		t.Errorf("dead source should appear in Denied: %v", in.Denied)
+	}
+
+	// Both dead: the query fails with the collected reasons. Construct
+	// while A is still up (New needs at least one summary), then kill it.
+	aDown := false
+	eps[0] = flakyEndpoint{Endpoint: eps[0], down: &aDown}
+	m2, err := New(Config{Endpoints: []source.Endpoint{eps[0], eps[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aDown = true
+	if _, err := m2.Query(q, "r"); err == nil {
+		t.Error("all sources dead should fail the query")
+	}
+}
+
+func TestRefreshSchemaSkipsDeadSources(t *testing.T) {
+	eps := twoHospitals(t)
+	down := false
+	eps[1] = flakyEndpoint{Endpoint: eps[1], down: &down}
+	m, err := New(Config{Endpoints: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.MediatedSchema().Len()
+	down = true
+	if err := m.RefreshSchema(); err != nil {
+		t.Fatalf("refresh with one dead source should succeed: %v", err)
+	}
+	if m.MediatedSchema().Len() == 0 || m.MediatedSchema().Len() > before {
+		t.Errorf("schema after partial refresh = %d paths", m.MediatedSchema().Len())
+	}
+}
+
+func TestNewFailsWhenNoSourceSummarizes(t *testing.T) {
+	eps := twoHospitals(t)
+	down := true
+	dead := []source.Endpoint{
+		flakyEndpoint{Endpoint: eps[0], down: &down},
+		flakyEndpoint{Endpoint: eps[1], down: &down},
+	}
+	if _, err := New(Config{Endpoints: dead}); err == nil {
+		t.Error("mediator over only dead sources should fail to start")
+	}
+}

@@ -1,0 +1,136 @@
+package mediator
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/xmltree"
+)
+
+// IntegratedToNode renders an integration result for the wire:
+//
+//	<integrated duplicates="3" loss="0.12" warehouse="false">
+//	  <answered>hospitalA</answered>
+//	  <denied source="labB">…reason…</denied>
+//	  <result>…</result>
+//	</integrated>
+func IntegratedToNode(in *Integrated) *xmltree.Node {
+	root := xmltree.NewElem("integrated").
+		SetAttr("duplicates", strconv.Itoa(in.Duplicates)).
+		SetAttr("loss", strconv.FormatFloat(in.AggregatedLoss, 'g', -1, 64)).
+		SetAttr("warehouse", strconv.FormatBool(in.FromWarehouse))
+	for _, s := range in.Answered {
+		root.Append(xmltree.NewText("answered", s))
+	}
+	for src, reason := range in.Denied {
+		root.Append(xmltree.NewText("denied", reason).SetAttr("source", src))
+	}
+	root.Append(in.Result.ToNode())
+	return root
+}
+
+// IntegratedFromNode parses IntegratedToNode output.
+func IntegratedFromNode(n *xmltree.Node) (*Integrated, error) {
+	if n.Name != "integrated" {
+		return nil, fmt.Errorf("mediator: expected <integrated>, got <%s>", n.Name)
+	}
+	out := &Integrated{Denied: map[string]string{}}
+	if v, ok := n.Attr("duplicates"); ok {
+		out.Duplicates, _ = strconv.Atoi(v)
+	}
+	if v, ok := n.Attr("loss"); ok {
+		out.AggregatedLoss, _ = strconv.ParseFloat(v, 64)
+	}
+	if v, ok := n.Attr("warehouse"); ok {
+		out.FromWarehouse = v == "true"
+	}
+	for _, a := range n.ChildrenNamed("answered") {
+		out.Answered = append(out.Answered, a.Text)
+	}
+	for _, d := range n.ChildrenNamed("denied") {
+		src, _ := d.Attr("source")
+		out.Denied[src] = d.Text
+	}
+	resNode := n.Child("result")
+	if resNode == nil {
+		return nil, fmt.Errorf("mediator: integrated answer missing result")
+	}
+	res, err := piql.ResultFromNode(resNode)
+	if err != nil {
+		return nil, err
+	}
+	out.Result = res
+	return out, nil
+}
+
+// NewHandler exposes the mediator over HTTP (cmd/piye-mediator).
+func NewHandler(m *Mediator) http.Handler {
+	mux := http.NewServeMux()
+
+	writeNode := func(w http.ResponseWriter, n *xmltree.Node) {
+		w.Header().Set("Content-Type", "application/xml")
+		_ = n.Encode(w)
+	}
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		requester := r.Header.Get("X-Requester")
+		if requester == "" {
+			http.Error(w, "mediator: missing X-Requester header", http.StatusBadRequest)
+			return
+		}
+		in, err := m.Query(string(body), requester)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		writeNode(w, IntegratedToNode(in))
+	})
+
+	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
+		writeNode(w, m.MediatedSchema().ToNode())
+	})
+
+	mux.HandleFunc("GET /history", func(w http.ResponseWriter, r *http.Request) {
+		root := xmltree.NewElem("history")
+		for _, e := range m.History() {
+			item := xmltree.NewElem("entry").
+				SetAttr("requester", e.Requester).
+				SetAttr("clock", strconv.FormatInt(e.Clock, 10))
+			item.Append(xmltree.NewText("query", e.Query))
+			for _, s := range e.Sources {
+				item.Append(xmltree.NewText("source", s))
+			}
+			root.Append(item)
+		}
+		writeNode(w, root)
+	})
+
+	mux.HandleFunc("GET /correspondences", func(w http.ResponseWriter, r *http.Request) {
+		root := xmltree.NewElem("correspondences")
+		for _, c := range m.Correspondences() {
+			root.Append(xmltree.NewElem("match").
+				SetAttr("sourceA", c.SourceA).SetAttr("fieldA", c.FieldA).
+				SetAttr("sourceB", c.SourceB).SetAttr("fieldB", c.FieldB).
+				SetAttr("score", strconv.FormatFloat(c.Score, 'g', 3, 64)))
+		}
+		writeNode(w, root)
+	})
+
+	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.RefreshSchema(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	return mux
+}

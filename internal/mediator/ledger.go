@@ -1,0 +1,204 @@
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"privateiye/internal/attack"
+	"privateiye/internal/piql"
+)
+
+// The release ledger is the mediator's answer to the paper's hardest open
+// problem — "how do we ensure that a set of query results from a set of
+// queries ... cannot be combined together to violate data privacy?"
+// (Section 4) — for the query class Figure 1 exemplifies: aggregate
+// statistics over the two axes of one confidential matrix.
+//
+// Each requester's aggregate releases are remembered by (target, value
+// column, group axis). When a requester who already holds mean+sigma
+// statistics along one axis asks for means along a *different* axis of
+// the same data (or vice versa), the two releases jointly form exactly
+// the Figure 1 constraint system. Before answering, the mediator mounts
+// the inference attack an outsider could mount with the combined
+// releases; if any cell of the underlying matrix would be pinned more
+// tightly than the configured threshold, the new release is refused —
+// even though, per source, each query was individually authorized.
+
+// ledgerRelease is one remembered aggregate release.
+type ledgerRelease struct {
+	target   string             // canonical FOR pattern
+	valueCol string             // measured column (last step of the AVG path)
+	axis     string             // group-by column name
+	means    map[string]float64 // group -> mean
+	sigmas   map[string]float64 // group -> sample stddev (nil if not released)
+}
+
+// releaseLedger tracks releases per requester.
+type releaseLedger struct {
+	mu          sync.Mutex
+	byRequester map[string][]ledgerRelease
+}
+
+func newReleaseLedger() *releaseLedger {
+	return &releaseLedger{byRequester: map[string][]ledgerRelease{}}
+}
+
+// classifyRelease extracts the ledger shape of an integrated aggregate
+// result, or ok=false when the query is not of the ledgered class
+// (single GROUP BY axis with an AVG over one value column).
+func classifyRelease(q *piql.Query, res *piql.Result) (ledgerRelease, bool) {
+	if len(q.GroupBy) != 1 {
+		return ledgerRelease{}, false
+	}
+	var avgItem, sdItem *piql.ReturnItem
+	for i := range q.Return {
+		ri := &q.Return[i]
+		switch ri.Agg {
+		case piql.AggAvg:
+			if avgItem != nil {
+				return ledgerRelease{}, false // multiple value columns: out of class
+			}
+			avgItem = ri
+		case piql.AggStdDev:
+			sdItem = ri
+		}
+	}
+	if avgItem == nil || avgItem.Path == nil {
+		return ledgerRelease{}, false
+	}
+	if sdItem != nil && (sdItem.Path == nil || sdItem.Path.LastStep() != avgItem.Path.LastStep()) {
+		sdItem = nil // sigma over a different column: ignore it
+	}
+
+	colIdxOf := func(name string) int {
+		for i, c := range res.Columns {
+			if c == name {
+				return i
+			}
+		}
+		return -1
+	}
+	axisName := lastSegment(q.GroupBy[0].String())
+	axisIdx := colIdxOf(axisName)
+	avgIdx := colIdxOf(avgItem.Name())
+	if axisIdx < 0 || avgIdx < 0 {
+		return ledgerRelease{}, false
+	}
+	sdIdx := -1
+	if sdItem != nil {
+		sdIdx = colIdxOf(sdItem.Name())
+	}
+
+	rel := ledgerRelease{
+		target:   q.For.String(),
+		valueCol: avgItem.Path.LastStep(),
+		axis:     axisName,
+		means:    map[string]float64{},
+	}
+	if sdIdx >= 0 {
+		rel.sigmas = map[string]float64{}
+	}
+	for _, row := range res.Rows {
+		m, err := strconv.ParseFloat(strings.TrimSpace(row[avgIdx]), 64)
+		if err != nil {
+			continue
+		}
+		rel.means[row[axisIdx]] = m
+		if sdIdx >= 0 {
+			if s, err := strconv.ParseFloat(strings.TrimSpace(row[sdIdx]), 64); err == nil {
+				rel.sigmas[row[axisIdx]] = s
+			}
+		}
+	}
+	if len(rel.means) < 2 {
+		return ledgerRelease{}, false
+	}
+	return rel, true
+}
+
+func lastSegment(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// checkAndRecord runs the combination check for a new release and, if it
+// passes, records it. It returns an error when the combined releases
+// would disclose beyond the threshold.
+func (l *releaseLedger) checkAndRecord(requester string, rel ledgerRelease, threshold, tolerance float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, prior := range l.byRequester[requester] {
+		if prior.target != rel.target || prior.valueCol != rel.valueCol || prior.axis == rel.axis {
+			continue
+		}
+		// One release carries sigmas (the attribute axis), the other the
+		// party means; either order works.
+		attrRel, partyRel := prior, rel
+		if attrRel.sigmas == nil {
+			attrRel, partyRel = rel, prior
+		}
+		if attrRel.sigmas == nil {
+			continue // neither released sigmas: means alone do not close the system
+		}
+		d, err := combinedDisclosure(attrRel, partyRel, tolerance)
+		if err != nil {
+			// Inconsistent as one matrix (e.g. the releases cover
+			// different populations): no combination attack applies.
+			continue
+		}
+		if d >= threshold {
+			return fmt.Errorf(
+				"mediator: refusing release: combined with your earlier %s-by-%s statistics it would pin hidden %s values to %.1f%% of their prior range (threshold %.1f%%)",
+				rel.valueCol, prior.axis, rel.valueCol, 100*d, 100*threshold)
+		}
+	}
+	l.byRequester[requester] = append(l.byRequester[requester], rel)
+	return nil
+}
+
+// combinedDisclosure mounts the outsider attack on the pair of releases:
+// attributes from the sigma-bearing release, parties from the other.
+func combinedDisclosure(attrRel, partyRel ledgerRelease, tolerance float64) (float64, error) {
+	attrs := sortedKeysF(attrRel.means)
+	parties := sortedKeysF(partyRel.means)
+	k := &attack.Knowledge{
+		OwnIndex:    -1,
+		Tolerance:   tolerance,
+		SampleSigma: true,
+		Lo:          0,
+		Hi:          100,
+	}
+	for _, a := range attrs {
+		k.AttrMean = append(k.AttrMean, attrRel.means[a])
+		sigma, ok := attrRel.sigmas[a]
+		if !ok {
+			return 0, fmt.Errorf("mediator: attribute %q lacks a sigma", a)
+		}
+		k.AttrSigma = append(k.AttrSigma, sigma)
+	}
+	for _, p := range parties {
+		k.PartyMean = append(k.PartyMean, partyRel.means[p])
+	}
+	if err := k.Validate(); err != nil {
+		return 0, err
+	}
+	inf, err := k.Infer(attack.FastOptions())
+	if err != nil {
+		return 0, err
+	}
+	return inf.MaxDisclosure(), nil
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,498 @@
+// Package mediator implements the privacy-preserving mediation engine of
+// Figure 2(b): mediated schema generation over the sources' partial
+// structural summaries, query fragmentation and source routing, result
+// integration with private duplicate elimination, the privacy control that
+// verifies aggregated privacy loss, and the hybrid warehouse.
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"privateiye/internal/linkage"
+	"privateiye/internal/piql"
+	"privateiye/internal/schemamatch"
+	"privateiye/internal/source"
+	"privateiye/internal/warehouse"
+	"privateiye/internal/xmltree"
+)
+
+// Config assembles a mediation engine.
+type Config struct {
+	// Endpoints are the participating sources.
+	Endpoints []source.Endpoint
+	// LinkageSalt is the shared linking secret for private dedup; it must
+	// equal the sources'.
+	LinkageSalt []byte
+	// DedupColumn names the result column used for duplicate elimination
+	// across sources ("" disables fuzzy dedup; exact-duplicate rows are
+	// always removed).
+	DedupColumn string
+	// DedupThreshold is the Dice similarity above which two rows are the
+	// same entity (default 0.85).
+	DedupThreshold float64
+	// WarehouseCapacity and WarehouseTTL configure the hybrid warehouse;
+	// capacity 0 disables warehousing (pure virtual querying).
+	WarehouseCapacity int
+	WarehouseTTL      int64
+	// MaxDisclosure is the Privacy Control threshold: an aggregate
+	// release whose simulated snooping attack narrows any hidden cell by
+	// more than this fraction is refused (see control.go and ledger.go).
+	// Default 0.99 (only near-exact disclosure blocked); Example 1 uses
+	// stricter settings.
+	MaxDisclosure float64
+	// LedgerTolerance is the accuracy the release ledger assumes of
+	// published aggregate values when combining a requester's releases
+	// (default 0.5: the default mitigations round aggregates to
+	// integers).
+	LedgerTolerance float64
+}
+
+// Mediator is a running mediation engine.
+type Mediator struct {
+	cfg     Config
+	matcher *schemamatch.Matcher
+
+	mu              sync.RWMutex
+	schema          *xmltree.Summary            // mediated schema (merged partial summaries)
+	bySource        map[string]*xmltree.Summary // per-source shared summaries
+	vocab           []string                    // leaf vocabulary of the mediated schema
+	wh              *warehouse.Warehouse
+	history         []HistoryEntry
+	ledger          *releaseLedger
+	correspondences []Correspondence
+}
+
+// HistoryEntry is one integration round in the Query History store.
+type HistoryEntry struct {
+	Requester string
+	Query     string
+	Sources   []string
+	Denied    []string
+	Clock     int64
+}
+
+// New builds a mediator and performs the initial mediated schema
+// generation.
+func New(cfg Config) (*Mediator, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("mediator: no sources")
+	}
+	if cfg.DedupThreshold == 0 {
+		cfg.DedupThreshold = 0.85
+	}
+	if cfg.DedupThreshold < 0 || cfg.DedupThreshold > 1 {
+		return nil, fmt.Errorf("mediator: dedup threshold %v", cfg.DedupThreshold)
+	}
+	if cfg.MaxDisclosure == 0 {
+		cfg.MaxDisclosure = 0.99
+	}
+	if cfg.LedgerTolerance == 0 {
+		cfg.LedgerTolerance = 0.5
+	}
+	m := &Mediator{
+		cfg:      cfg,
+		matcher:  schemamatch.NewMatcher(),
+		bySource: map[string]*xmltree.Summary{},
+		ledger:   newReleaseLedger(),
+	}
+	if cfg.WarehouseCapacity > 0 {
+		wh, err := warehouse.New(cfg.WarehouseCapacity, cfg.WarehouseTTL)
+		if err != nil {
+			return nil, err
+		}
+		m.wh = wh
+	}
+	if err := m.RefreshSchema(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RefreshSchema re-runs Mediated Schema Generation: fetch every source's
+// partial summary and merge them. Sources that fail to answer are skipped
+// (they simply contribute nothing to the mediated schema).
+func (m *Mediator) RefreshSchema() error {
+	merged := xmltree.NewSummary()
+	bySource := map[string]*xmltree.Summary{}
+	profiles := map[string][]schemamatch.FieldProfile{}
+	okCount := 0
+	for _, ep := range m.cfg.Endpoints {
+		sum, err := ep.FetchSummary()
+		if err != nil {
+			continue
+		}
+		bySource[ep.Name()] = sum
+		merged.Merge(sum)
+		okCount++
+		if ps, err := ep.FetchProfiles(); err == nil {
+			profiles[ep.Name()] = ps
+		}
+	}
+	if okCount == 0 {
+		return fmt.Errorf("mediator: no source produced a summary")
+	}
+	correspondences := m.refreshCorrespondences(profiles)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.schema = merged
+	m.bySource = bySource
+	m.vocab = merged.LeafNames()
+	m.correspondences = correspondences
+	// Materialized results may describe data whose source just changed or
+	// disappeared: a schema refresh empties the warehouse.
+	if m.wh != nil {
+		m.wh.Invalidate("")
+	}
+	return nil
+}
+
+// MediatedSchema returns the current mediated schema.
+func (m *Mediator) MediatedSchema() *xmltree.Summary {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.schema
+}
+
+// Integrated is the result of one integration round.
+type Integrated struct {
+	// Result is the integrated, deduplicated result.
+	Result *piql.Result
+	// Answered lists sources that contributed; Denied lists sources that
+	// refused with their reasons.
+	Answered []string
+	Denied   map[string]string
+	// Duplicates is the number of rows removed by duplicate elimination.
+	Duplicates int
+	// AggregatedLoss is the maximum per-source estimated information
+	// loss (the integrated answer is at least as distorted as its most
+	// distorted contributor).
+	AggregatedLoss float64
+	// FromWarehouse reports a materialized answer.
+	FromWarehouse bool
+}
+
+// Query runs the full mediation pipeline for a PIQL query text.
+func (m *Mediator) Query(piqlText, requester string) (*Integrated, error) {
+	q, err := piql.Parse(strings.TrimSpace(piqlText))
+	if err != nil {
+		return nil, fmt.Errorf("mediator: %w", err)
+	}
+	canonical := q.String()
+
+	// Hybrid path: serve from the warehouse when fresh.
+	whKey := requester + "|" + canonical
+	if m.wh != nil {
+		if res, ok := m.wh.Get(whKey); ok {
+			m.record(HistoryEntry{Requester: requester, Query: canonical, Sources: []string{"warehouse"}})
+			return &Integrated{Result: res, FromWarehouse: true, Answered: []string{"warehouse"}}, nil
+		}
+	}
+
+	// Fragmenter: route to relevant sources only.
+	targets := m.route(q)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("mediator: no source holds data matching %s", q.For)
+	}
+
+	type reply struct {
+		name string
+		node *xmltree.Node
+		err  error
+	}
+	replies := make(chan reply, len(targets))
+	var wg sync.WaitGroup
+	for _, ep := range targets {
+		wg.Add(1)
+		go func(ep source.Endpoint) {
+			defer wg.Done()
+			node, err := ep.Query(canonical, requester)
+			replies <- reply{name: ep.Name(), node: node, err: err}
+		}(ep)
+	}
+	wg.Wait()
+	close(replies)
+
+	out := &Integrated{Denied: map[string]string{}}
+	var answers []*answer
+	for r := range replies {
+		if r.err != nil {
+			out.Denied[r.name] = r.err.Error()
+			continue
+		}
+		a, err := parseAnswer(r.node)
+		if err != nil {
+			out.Denied[r.name] = err.Error()
+			continue
+		}
+		answers = append(answers, a)
+		out.Answered = append(out.Answered, r.name)
+		if a.estLoss > out.AggregatedLoss {
+			out.AggregatedLoss = a.estLoss
+		}
+	}
+	sort.Strings(out.Answered)
+	if len(answers) == 0 {
+		reasons := make([]string, 0, len(out.Denied))
+		for s, r := range out.Denied {
+			reasons = append(reasons, s+": "+r)
+		}
+		sort.Strings(reasons)
+		return nil, fmt.Errorf("mediator: every source refused: %s", strings.Join(reasons, "; "))
+	}
+
+	// Result Integrator: merge per-source results. Aggregate queries are
+	// re-aggregated by group key (each source contributed partial
+	// aggregates over its own rows); plain queries are deduplicated.
+	integrated := mergeAnswers(answers)
+	if q.IsAggregate() {
+		integrated, err = reaggregate(q, integrated)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		integrated, out.Duplicates, err = m.dedupe(integrated)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Privacy Control: the aggregated loss must respect the requester's
+	// budget — integrating cannot launder a violation (Section 5:
+	// computed per-source loss "may not hold after the results are
+	// integrated").
+	if out.AggregatedLoss > q.MaxLoss {
+		return nil, fmt.Errorf("mediator: integrated information loss %.2f exceeds the requester's MAXLOSS %.2f",
+			out.AggregatedLoss, q.MaxLoss)
+	}
+
+	// Global ordering and limit: per-source ORDER BY does not survive
+	// merging, and a per-source LIMIT n yields up to n rows per source.
+	// Re-apply both on the integrated result.
+	if q.OrderBy != "" {
+		// Ignore a missing column: a source-side mitigation may have
+		// dropped it, in which case order is unspecified, not an error.
+		_ = integrated.Sort(q.OrderBy, q.OrderDesc)
+	}
+	if q.Limit > 0 && len(integrated.Rows) > q.Limit {
+		integrated.Rows = integrated.Rows[:q.Limit]
+	}
+
+	// Release ledger: a requester's aggregate releases must not combine
+	// into a Figure 1 system (second-level enforcement across queries).
+	if q.IsAggregate() {
+		if rel, ok := classifyRelease(q, integrated); ok {
+			if err := m.ledger.checkAndRecord(requester, rel, m.cfg.MaxDisclosure, m.cfg.LedgerTolerance); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out.Result = integrated
+	if m.wh != nil {
+		m.wh.Put(whKey, integrated)
+		m.wh.Tick()
+	}
+	m.record(HistoryEntry{
+		Requester: requester,
+		Query:     canonical,
+		Sources:   out.Answered,
+		Denied:    sortedKeys(out.Denied),
+	})
+	return out, nil
+}
+
+// route implements the Fragmenter's source selection: a source is
+// relevant when its shared summary has any path the FOR pattern (or a
+// resolver-expanded variant) can reach.
+func (m *Mediator) route(q *piql.Query) []source.Endpoint {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []source.Endpoint
+	for _, ep := range m.cfg.Endpoints {
+		sum, ok := m.bySource[ep.Name()]
+		if !ok {
+			// Never summarized (e.g. joined after refresh): try it anyway.
+			out = append(out, ep)
+			continue
+		}
+		if summaryReaches(sum, q.For) {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// summaryReaches reports whether any summarized path satisfies the FOR
+// pattern. Summaries contain every intermediate path, so an exact match
+// against some path is necessary and sufficient — MatchesPrefix would
+// declare every source reachable whenever the pattern starts with a
+// descendant step.
+func summaryReaches(sum *xmltree.Summary, pat *xmltree.PathPattern) bool {
+	for _, info := range sum.Paths() {
+		if pat.Matches(info.Path) {
+			return true
+		}
+	}
+	return false
+}
+
+// answer is a parsed tagged source answer.
+type answer struct {
+	source  string
+	result  *piql.Result
+	estLoss float64
+}
+
+func parseAnswer(node *xmltree.Node) (*answer, error) {
+	if node.Name != "answer" {
+		return nil, fmt.Errorf("mediator: expected <answer>, got <%s>", node.Name)
+	}
+	src, _ := node.Attr("source")
+	resNode := node.Child("result")
+	if resNode == nil {
+		return nil, fmt.Errorf("mediator: answer from %s has no result", src)
+	}
+	res, err := piql.ResultFromNode(resNode)
+	if err != nil {
+		return nil, err
+	}
+	a := &answer{source: src, result: res}
+	if v, ok := node.Attr("estloss"); ok {
+		fmt.Sscanf(v, "%g", &a.estLoss)
+	}
+	return a, nil
+}
+
+// mergeAnswers unions result rows over the union of columns; cells a
+// source did not produce are empty.
+func mergeAnswers(answers []*answer) *piql.Result {
+	var cols []string
+	seen := map[string]bool{}
+	for _, a := range answers {
+		for _, c := range a.result.Columns {
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+	}
+	out := &piql.Result{Columns: cols}
+	idx := map[string]int{}
+	for i, c := range cols {
+		idx[c] = i
+	}
+	for _, a := range answers {
+		for _, row := range a.result.Rows {
+			nr := make([]string, len(cols))
+			for i, c := range a.result.Columns {
+				nr[idx[c]] = row[i]
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out
+}
+
+// dedupe removes exact-duplicate rows always, and fuzzy duplicates on the
+// configured column via Bloom-encoded similarity.
+func (m *Mediator) dedupe(res *piql.Result) (*piql.Result, int, error) {
+	out := &piql.Result{Columns: res.Columns}
+	removed := 0
+
+	// Exact pass.
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		key := strings.Join(row, "\x00")
+		if seen[key] {
+			removed++
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, row)
+	}
+
+	// Fuzzy pass on the dedup column.
+	col := -1
+	for i, c := range out.Columns {
+		if c == m.cfg.DedupColumn {
+			col = i
+			break
+		}
+	}
+	if m.cfg.DedupColumn == "" || col < 0 || len(m.cfg.LinkageSalt) == 0 {
+		return out, removed, nil
+	}
+	enc, err := linkage.NewEncoder(1000, 20, 2, m.cfg.LinkageSalt)
+	if err != nil {
+		return nil, 0, err
+	}
+	type keyed struct {
+		block  string
+		filter *linkage.Bitset
+	}
+	var kept []([]string)
+	var keptKeys []keyed
+	for _, row := range out.Rows {
+		v := row[col]
+		k := keyed{block: linkage.BlockKey(m.cfg.LinkageSalt, v), filter: enc.Encode(v)}
+		dup := false
+		for i := range keptKeys {
+			if keptKeys[i].block != k.block {
+				continue
+			}
+			sim, err := linkage.Dice(keptKeys[i].filter, k.filter)
+			if err != nil {
+				return nil, 0, err
+			}
+			if sim >= m.cfg.DedupThreshold {
+				dup = true
+				break
+			}
+			_ = kept[i]
+		}
+		if dup {
+			removed++
+			continue
+		}
+		kept = append(kept, row)
+		keptKeys = append(keptKeys, k)
+	}
+	out.Rows = kept
+	return out, removed, nil
+}
+
+// History returns a copy of the query history.
+func (m *Mediator) History() []HistoryEntry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]HistoryEntry(nil), m.history...)
+}
+
+func (m *Mediator) record(e HistoryEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.wh != nil {
+		e.Clock = m.wh.Now()
+	}
+	m.history = append(m.history, e)
+}
+
+// WarehouseStats exposes hybrid-mode statistics (zeroes when disabled).
+func (m *Mediator) WarehouseStats() (hits, misses, size int) {
+	if m.wh == nil {
+		return 0, 0, 0
+	}
+	return m.wh.Stats()
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package nlp
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes f without derivatives from the start point x0 using
+// the downhill-simplex method with standard coefficients (reflection 1,
+// expansion 2, contraction 0.5, shrink 0.5). It is the fallback inner
+// solver for non-smooth objectives (the loss metrics in internal/loss are
+// piecewise and gradient-free). Box bounds are enforced by clamping.
+func NelderMead(f func([]float64) float64, x0, lo, hi []float64, maxIter int, tol float64) (*Solution, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, errors.New("nlp: empty start point")
+	}
+	if maxIter <= 0 {
+		maxIter = 500 * n
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	clampTo := func(x []float64) {
+		if lo != nil && hi != nil {
+			clamp(x, lo, hi)
+		}
+	}
+
+	// Initial simplex: x0 plus a perturbation along each axis.
+	simplex := make([][]float64, n+1)
+	fvals := make([]float64, n+1)
+	for i := range simplex {
+		pt := make([]float64, n)
+		copy(pt, x0)
+		if i > 0 {
+			step := 0.05 * math.Max(1, math.Abs(pt[i-1]))
+			pt[i-1] += step
+		}
+		clampTo(pt)
+		simplex[i] = pt
+		fvals[i] = f(pt)
+	}
+
+	order := func() {
+		idx := make([]int, n+1)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return fvals[idx[a]] < fvals[idx[b]] })
+		ns := make([][]float64, n+1)
+		nf := make([]float64, n+1)
+		for i, j := range idx {
+			ns[i] = simplex[j]
+			nf[i] = fvals[j]
+		}
+		simplex, fvals = ns, nf
+	}
+
+	centroid := make([]float64, n)
+	point := func(coef float64) []float64 {
+		// centroid + coef*(centroid - worst)
+		out := make([]float64, n)
+		worst := simplex[n]
+		for i := 0; i < n; i++ {
+			out[i] = centroid[i] + coef*(centroid[i]-worst[i])
+		}
+		clampTo(out)
+		return out
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		order()
+		if math.Abs(fvals[n]-fvals[0]) < tol {
+			break
+		}
+		for i := range centroid {
+			centroid[i] = 0
+		}
+		for _, pt := range simplex[:n] {
+			for i, v := range pt {
+				centroid[i] += v / float64(n)
+			}
+		}
+
+		refl := point(1)
+		fr := f(refl)
+		switch {
+		case fr < fvals[0]:
+			exp := point(2)
+			fe := f(exp)
+			if fe < fr {
+				simplex[n], fvals[n] = exp, fe
+			} else {
+				simplex[n], fvals[n] = refl, fr
+			}
+		case fr < fvals[n-1]:
+			simplex[n], fvals[n] = refl, fr
+		default:
+			con := point(-0.5)
+			fc := f(con)
+			if fc < fvals[n] {
+				simplex[n], fvals[n] = con, fc
+			} else {
+				// Shrink toward the best point.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i][j] = simplex[0][j] + 0.5*(simplex[i][j]-simplex[0][j])
+					}
+					clampTo(simplex[i])
+					fvals[i] = f(simplex[i])
+				}
+			}
+		}
+	}
+	order()
+	return &Solution{X: simplex[0], F: fvals[0], Converged: true}, nil
+}

@@ -1,0 +1,265 @@
+// Package optimizer implements privacy-conscious query optimization
+// (Section 4): "with the additional costs of privacy checking during
+// query processing and possible results perturbation to preserve privacy,
+// we need novel query processing techniques to reduce these costs ...
+// integrated with the query optimization mechanism so that the most
+// efficient query execution plan incorporates the most efficient privacy
+// checking and preservation plan."
+//
+// The planner makes three privacy-aware decisions on top of a classical
+// selectivity-ordered filter pipeline:
+//
+//  1. predicate ordering by estimated selectivity (cheapest first);
+//  2. preservation placement — a row-level preservation technique can run
+//     before or after filtering; the planner costs both and picks the
+//     cheaper (sampling early cuts work, generalizing late touches fewer
+//     rows);
+//  3. loss-budget early termination — if the technique pipeline cannot
+//     possibly respect the requester's MAXLOSS budget, the plan is
+//     refused before touching any data.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/preserve"
+)
+
+// Stats carries the planner's knowledge of the data.
+type Stats struct {
+	// Rows is the estimated number of context nodes the FOR clause scans.
+	Rows int
+	// Selectivity overrides the default per-predicate selectivity,
+	// keyed by the predicate's String() rendering.
+	Selectivity map[string]float64
+}
+
+// Default selectivities per predicate shape, from the classical System R
+// playbook.
+const (
+	selEquality = 0.10
+	selRange    = 0.33
+	selContains = 0.25
+	selExists   = 0.90
+)
+
+// costs per row, in abstract units (calibrated only relative to each
+// other; the benchmarks measure real time).
+const (
+	costScanRow    = 1.0
+	costFilterRow  = 0.2
+	costProjectRow = 0.1
+)
+
+// techniqueProfile describes a preservation technique to the planner.
+type techniqueProfile struct {
+	costPerRow float64
+	rowFactor  float64 // expected fraction of rows surviving (sampling < 1)
+	minLoss    float64 // information loss the technique necessarily causes
+}
+
+// profileTechnique derives a planner profile from a technique. The
+// registry of shapes mirrors internal/preserve's concrete types.
+func profileTechnique(t preserve.Technique) techniqueProfile {
+	switch v := t.(type) {
+	case preserve.Identity:
+		return techniqueProfile{costPerRow: 0, rowFactor: 1, minLoss: 0}
+	case preserve.SuppressColumns, preserve.DropColumns:
+		return techniqueProfile{costPerRow: 0.1, rowFactor: 1, minLoss: 0.2}
+	case preserve.Generalize:
+		return techniqueProfile{costPerRow: 0.5, rowFactor: 1, minLoss: 0.1}
+	case preserve.RoundNumeric:
+		return techniqueProfile{costPerRow: 0.2, rowFactor: 1, minLoss: 0.02}
+	case preserve.AdditiveNoise:
+		return techniqueProfile{costPerRow: 0.4, rowFactor: 1, minLoss: 0.05}
+	case preserve.RandomSample:
+		return techniqueProfile{costPerRow: 0.1, rowFactor: v.P, minLoss: 1 - v.P}
+	case preserve.SmallCountSuppress:
+		return techniqueProfile{costPerRow: 0.2, rowFactor: 0.95, minLoss: 0.05}
+	case preserve.Microaggregate:
+		return techniqueProfile{costPerRow: 2.0, rowFactor: 1, minLoss: 0.1}
+	case preserve.TopBottomCode:
+		return techniqueProfile{costPerRow: 0.3, rowFactor: 1, minLoss: 0.02}
+	case preserve.RankSwap:
+		return techniqueProfile{costPerRow: 1.0, rowFactor: 1, minLoss: 0.05}
+	case preserve.Pipeline:
+		p := techniqueProfile{rowFactor: 1}
+		for _, s := range v.Steps {
+			sp := profileTechnique(s)
+			p.costPerRow += sp.costPerRow
+			p.rowFactor *= sp.rowFactor
+			// Losses compose sub-additively; sum clamped is a usable
+			// planner-side bound.
+			p.minLoss += sp.minLoss
+		}
+		if p.minLoss > 1 {
+			p.minLoss = 1
+		}
+		return p
+	default:
+		return techniqueProfile{costPerRow: 0.5, rowFactor: 1, minLoss: 0.1}
+	}
+}
+
+// PlanStep is one operator of a physical plan.
+type PlanStep struct {
+	Op      string  // "scan", "filter", "preserve", "project"
+	Detail  string  // operator argument rendering
+	EstRows float64 // rows flowing OUT of the step
+	EstCost float64 // cost of the step
+}
+
+// Plan is a costed physical plan.
+type Plan struct {
+	Steps     []PlanStep
+	TotalCost float64
+	EstRows   float64
+	// PreserveEarly records the placement decision for the ablation
+	// benchmarks.
+	PreserveEarly bool
+}
+
+// String renders the plan like an EXPLAIN output.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "%d: %-9s %-40s rows=%.0f cost=%.1f\n", i, s.Op, s.Detail, s.EstRows, s.EstCost)
+	}
+	fmt.Fprintf(&b, "total cost %.1f, %.0f rows", p.TotalCost, p.EstRows)
+	return b.String()
+}
+
+// ErrBudget is returned when the loss budget makes execution pointless.
+type ErrBudget struct {
+	Budget  float64
+	MinLoss float64
+}
+
+// Error implements error.
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("optimizer: requester budget %.2f below the %.2f loss the required preservation necessarily causes", e.Budget, e.MinLoss)
+}
+
+// conjuncts flattens the top-level AND structure of a condition.
+func conjuncts(c piql.Cond) []piql.Cond {
+	if c == nil {
+		return nil
+	}
+	if a, ok := c.(*piql.And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []piql.Cond{c}
+}
+
+// estimateSelectivity estimates the fraction of rows a condition passes.
+func estimateSelectivity(c piql.Cond, st Stats) float64 {
+	if c == nil {
+		return 1
+	}
+	if s, ok := st.Selectivity[c.String()]; ok {
+		return s
+	}
+	switch v := c.(type) {
+	case *piql.Comparison:
+		if v.Op == piql.OpEq {
+			return selEquality
+		}
+		if v.Op == piql.OpNe {
+			return 1 - selEquality
+		}
+		return selRange
+	case *piql.Contains:
+		return selContains
+	case *piql.Exists:
+		return selExists
+	case *piql.And:
+		return estimateSelectivity(v.L, st) * estimateSelectivity(v.R, st)
+	case *piql.Or:
+		a, b := estimateSelectivity(v.L, st), estimateSelectivity(v.R, st)
+		return a + b - a*b
+	case *piql.Not:
+		return 1 - estimateSelectivity(v.C, st)
+	}
+	return 0.5
+}
+
+// Optimize plans the execution of a rewritten query with its assigned
+// preservation technique at a source holding st.Rows rows. lossBudget is
+// the effective budget from the rewriter (Outcome.Budget).
+func Optimize(q *piql.Query, technique preserve.Technique, st Stats, lossBudget float64) (*Plan, error) {
+	if q == nil {
+		return nil, fmt.Errorf("optimizer: nil query")
+	}
+	if st.Rows < 0 {
+		return nil, fmt.Errorf("optimizer: negative row estimate")
+	}
+	if technique == nil {
+		technique = preserve.Identity{}
+	}
+	tp := profileTechnique(technique)
+	if tp.minLoss > lossBudget {
+		return nil, &ErrBudget{Budget: lossBudget, MinLoss: tp.minLoss}
+	}
+
+	// Order conjuncts by ascending selectivity.
+	cs := conjuncts(q.Where)
+	type sc struct {
+		c piql.Cond
+		s float64
+	}
+	scs := make([]sc, len(cs))
+	for i, c := range cs {
+		scs[i] = sc{c, estimateSelectivity(c, st)}
+	}
+	sort.SliceStable(scs, func(i, j int) bool { return scs[i].s < scs[j].s })
+
+	build := func(early bool) *Plan {
+		p := &Plan{PreserveEarly: early}
+		rows := float64(st.Rows)
+		add := func(op, detail string, outRows, cost float64) {
+			p.Steps = append(p.Steps, PlanStep{Op: op, Detail: detail, EstRows: outRows, EstCost: cost})
+			p.TotalCost += cost
+		}
+		add("scan", q.For.String(), rows, rows*costScanRow)
+		if early {
+			out := rows * tp.rowFactor
+			add("preserve", technique.Name(), out, rows*tp.costPerRow)
+			rows = out
+		}
+		for _, x := range scs {
+			out := rows * x.s
+			add("filter", x.c.String(), out, rows*costFilterRow)
+			rows = out
+		}
+		if !early {
+			out := rows * tp.rowFactor
+			add("preserve", technique.Name(), out, rows*tp.costPerRow)
+			rows = out
+		}
+		add("project", renderReturns(q), rows, rows*costProjectRow)
+		p.EstRows = rows
+		return p
+	}
+
+	late := build(false)
+	early := build(true)
+	// Early placement is only sound for techniques that commute with
+	// filtering on unaffected columns; sampling does (statistically), and
+	// it is the main case where early wins. Pick by cost among sound
+	// options: early is offered only when the technique reduces rows.
+	if tp.rowFactor < 1 && early.TotalCost < late.TotalCost {
+		return early, nil
+	}
+	return late, nil
+}
+
+func renderReturns(q *piql.Query) string {
+	parts := make([]string, len(q.Return))
+	for i, ri := range q.Return {
+		parts[i] = ri.Name()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,188 @@
+package optimizer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/preserve"
+)
+
+func TestPredicateOrderingBySelectivity(t *testing.T) {
+	// Equality (0.10) should be filtered before range (0.33) regardless of
+	// textual order.
+	q := piql.MustParse("FOR //patient WHERE //age > 40 AND //diagnosis = 'diabetes' RETURN //age")
+	plan, err := Optimize(q, preserve.Identity{}, Stats{Rows: 10000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filters []string
+	for _, s := range plan.Steps {
+		if s.Op == "filter" {
+			filters = append(filters, s.Detail)
+		}
+	}
+	if len(filters) != 2 {
+		t.Fatalf("filters = %v", filters)
+	}
+	if !strings.Contains(filters[0], "=") || !strings.Contains(filters[1], ">") {
+		t.Errorf("filter order wrong: %v", filters)
+	}
+	// Row estimates shrink monotonically through the pipeline.
+	prev := plan.Steps[0].EstRows
+	for _, s := range plan.Steps[1:] {
+		if s.EstRows > prev+1e-9 {
+			t.Errorf("rows grew at %s: %v -> %v", s.Op, prev, s.EstRows)
+		}
+		prev = s.EstRows
+	}
+}
+
+func TestSelectivityOverride(t *testing.T) {
+	q := piql.MustParse("FOR //patient WHERE //age > 40 AND //diagnosis = 'diabetes' RETURN //age")
+	// Make the range predicate ultra-selective via stats; it should now
+	// run first.
+	rangePred := "//age > 40"
+	st := Stats{Rows: 1000, Selectivity: map[string]float64{rangePred: 0.01}}
+	plan, err := Optimize(q, preserve.Identity{}, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		if s.Op == "filter" {
+			if !strings.Contains(s.Detail, ">") {
+				t.Errorf("override ignored; first filter = %s", s.Detail)
+			}
+			break
+		}
+	}
+}
+
+func TestSamplePlacedEarly(t *testing.T) {
+	q := piql.MustParse("FOR //patient WHERE //age > 40 RETURN //age")
+	sample := preserve.RandomSample{P: 0.1}
+	plan, err := Optimize(q, sample, Stats{Rows: 100000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.PreserveEarly {
+		t.Error("10% sampling should be placed before filtering")
+	}
+	// First non-scan step is the preserve.
+	if plan.Steps[1].Op != "preserve" {
+		t.Errorf("step order: %+v", plan.Steps)
+	}
+}
+
+func TestRowPreservingTechniquePlacedLate(t *testing.T) {
+	q := piql.MustParse("FOR //patient WHERE //age > 40 RETURN //zip")
+	gen := preserve.Generalize{Column: "zip", Hierarchy: preserve.ZipHierarchy(), Level: 2}
+	plan, err := Optimize(q, gen, Stats{Rows: 100000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PreserveEarly {
+		t.Error("generalization should run after filtering")
+	}
+	// Preserve step is the second-to-last (before project).
+	if plan.Steps[len(plan.Steps)-2].Op != "preserve" {
+		t.Errorf("step order: %+v", plan.Steps)
+	}
+}
+
+func TestBudgetEarlyTermination(t *testing.T) {
+	q := piql.MustParse("FOR //patient RETURN //age MAXLOSS 0.05")
+	// Heavy sampling necessarily loses ~50% of information; a 0.05 budget
+	// cannot be met.
+	sample := preserve.RandomSample{P: 0.5}
+	_, err := Optimize(q, sample, Stats{Rows: 1000}, 0.05)
+	var eb *ErrBudget
+	if !errors.As(err, &eb) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if eb.MinLoss != 0.5 {
+		t.Errorf("min loss = %v", eb.MinLoss)
+	}
+	// A generous budget passes.
+	if _, err := Optimize(q, sample, Stats{Rows: 1000}, 0.9); err != nil {
+		t.Errorf("generous budget should pass: %v", err)
+	}
+}
+
+func TestPipelineProfileComposes(t *testing.T) {
+	q := piql.MustParse("FOR //patient RETURN //age")
+	pipe := preserve.Pipeline{Steps: []preserve.Technique{
+		preserve.RandomSample{P: 0.5},
+		preserve.RoundNumeric{Column: "age", Places: 0},
+	}}
+	// Pipeline min loss = 0.5 + 0.02; budget 0.4 fails, 0.6 passes.
+	if _, err := Optimize(q, pipe, Stats{Rows: 100}, 0.4); err == nil {
+		t.Error("pipeline loss should exceed 0.4 budget")
+	}
+	if _, err := Optimize(q, pipe, Stats{Rows: 100}, 0.6); err != nil {
+		t.Errorf("0.6 budget should pass: %v", err)
+	}
+}
+
+func TestNilTechniqueAndNilWhere(t *testing.T) {
+	q := piql.MustParse("FOR //patient RETURN //age")
+	plan, err := Optimize(q, nil, Stats{Rows: 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scan, preserve(identity), project.
+	if len(plan.Steps) != 3 {
+		t.Errorf("steps = %+v", plan.Steps)
+	}
+	if plan.EstRows != 50 {
+		t.Errorf("est rows = %v", plan.EstRows)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(nil, nil, Stats{Rows: 1}, 1); err == nil {
+		t.Error("nil query should fail")
+	}
+	q := piql.MustParse("FOR //x RETURN //y")
+	if _, err := Optimize(q, nil, Stats{Rows: -1}, 1); err == nil {
+		t.Error("negative rows should fail")
+	}
+}
+
+func TestEstimateSelectivityShapes(t *testing.T) {
+	st := Stats{}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"//a = 1", selEquality},
+		{"//a != 1", 1 - selEquality},
+		{"//a > 1", selRange},
+		{"//a CONTAINS 'x'", selContains},
+		{"EXISTS //a", selExists},
+		{"//a = 1 OR //b = 2", selEquality + selEquality - selEquality*selEquality},
+		{"NOT //a = 1", 1 - selEquality},
+	}
+	for _, tc := range cases {
+		q := piql.MustParse("FOR //x WHERE " + tc.src + " RETURN //y")
+		got := estimateSelectivity(q.Where, st)
+		if got != tc.want {
+			t.Errorf("selectivity(%s) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	q := piql.MustParse("FOR //patient WHERE //age > 40 RETURN //age")
+	plan, err := Optimize(q, preserve.Identity{}, Stats{Rows: 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	for _, want := range []string{"scan", "filter", "project", "total cost"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package piql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"privateiye/internal/stats"
+	"privateiye/internal/xmltree"
+)
+
+// Resolver maps a tag name that matched nothing to candidate alternatives,
+// implementing the paper's loose-query requirement: a requester asking for
+// //patient//dateOfBirth must still reach a source whose element is named
+// dob. Sources back this with their schema-matching vocabulary
+// (internal/schemamatch); nil disables approximate matching.
+type Resolver func(name string) []string
+
+// EvalOptions tunes query evaluation.
+type EvalOptions struct {
+	Resolver Resolver
+}
+
+// Result is an evaluated query result: named columns over string cells.
+// Multiple matches of a value path within one context are joined with
+// "; " so the result stays rectangular.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// ToNode renders the result in the wire shape shared with the relational
+// engine: <result><row><col>…</col></row></result>.
+func (r *Result) ToNode() *xmltree.Node {
+	root := xmltree.NewElem("result")
+	for _, row := range r.Rows {
+		rn := xmltree.NewElem("row")
+		for i, col := range r.Columns {
+			rn.Append(xmltree.NewText(col, row[i]))
+		}
+		root.Append(rn)
+	}
+	return root
+}
+
+// ResultFromNode parses the ToNode encoding.
+func ResultFromNode(n *xmltree.Node) (*Result, error) {
+	if n.Name != "result" {
+		return nil, fmt.Errorf("piql: expected <result>, got <%s>", n.Name)
+	}
+	res := &Result{}
+	for _, rowNode := range n.ChildrenNamed("row") {
+		if res.Columns == nil {
+			for _, c := range rowNode.Children {
+				res.Columns = append(res.Columns, c.Name)
+			}
+		}
+		row := make([]string, len(res.Columns))
+		for i, col := range res.Columns {
+			row[i] = rowNode.ChildText(col)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Evaluate runs the query against one document tree. The document node is
+// treated as the root of the path space regardless of any parent pointers.
+func (q *Query) Evaluate(doc *xmltree.Node, opt EvalOptions) (*Result, error) {
+	if len(q.Return) == 0 {
+		return nil, fmt.Errorf("piql: query has no return items")
+	}
+	contexts := selectFrom(doc, q.For, opt.Resolver)
+	var kept []*xmltree.Node
+	for _, ctx := range contexts {
+		ok, err := evalCond(q.Where, ctx, opt.Resolver)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kept = append(kept, ctx)
+		}
+	}
+	var res *Result
+	var err error
+	if q.IsAggregate() {
+		res, err = q.evalAggregate(kept, opt)
+	} else {
+		res, err = q.evalPlain(kept, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.OrderBy != "" {
+		if err := res.Sort(q.OrderBy, q.OrderDesc); err != nil {
+			return nil, fmt.Errorf("piql: ORDER BY: %w", err)
+		}
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// Sort orders the result rows by the named column (numeric-aware,
+// stable); desc selects descending order. The mediator re-applies a
+// query's ORDER BY through this after integration, because per-source
+// ordering does not survive merging.
+func (r *Result) Sort(column string, desc bool) error {
+	col := -1
+	for i, c := range r.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return fmt.Errorf("piql: sort on unknown column %q", column)
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		if desc {
+			return cellLess(r.Rows[b][col], r.Rows[a][col])
+		}
+		return cellLess(r.Rows[a][col], r.Rows[b][col])
+	})
+	return nil
+}
+
+// cellLess orders cells numerically when both parse as numbers, and
+// lexicographically otherwise.
+func cellLess(a, b string) bool {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA == nil && errB == nil {
+		return fa < fb
+	}
+	return a < b
+}
+
+func (q *Query) evalPlain(contexts []*xmltree.Node, opt EvalOptions) (*Result, error) {
+	res := &Result{}
+	for _, ri := range q.Return {
+		res.Columns = append(res.Columns, ri.Name())
+	}
+	for _, ctx := range contexts {
+		row := make([]string, len(q.Return))
+		for i, ri := range q.Return {
+			nodes := selectFrom(ctx, ri.Path, opt.Resolver)
+			var vals []string
+			for _, n := range nodes {
+				vals = append(vals, n.Text)
+			}
+			row[i] = strings.Join(vals, "; ")
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (q *Query) evalAggregate(contexts []*xmltree.Node, opt EvalOptions) (*Result, error) {
+	res := &Result{}
+	for _, g := range q.GroupBy {
+		res.Columns = append(res.Columns, lastName(g))
+	}
+	for _, ri := range q.Return {
+		res.Columns = append(res.Columns, ri.Name())
+	}
+
+	type group struct {
+		key    []string
+		values [][]float64 // per return item
+		count  int
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, ctx := range contexts {
+		key := make([]string, len(q.GroupBy))
+		for i, g := range q.GroupBy {
+			nodes := selectFrom(ctx, g, opt.Resolver)
+			if len(nodes) > 0 {
+				key[i] = nodes[0].Text
+			}
+		}
+		k := strings.Join(key, "\x00")
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{key: key, values: make([][]float64, len(q.Return))}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.count++
+		for i, ri := range q.Return {
+			if ri.Agg == AggNone || ri.Path == nil {
+				continue
+			}
+			for _, n := range selectFrom(ctx, ri.Path, opt.Resolver) {
+				if v, err := strconv.ParseFloat(strings.TrimSpace(n.Text), 64); err == nil {
+					gr.values[i] = append(gr.values[i], v)
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+
+	for _, k := range order {
+		gr := groups[k]
+		row := append([]string(nil), gr.key...)
+		for i, ri := range q.Return {
+			cell, err := aggCell(ri, gr.values[i], gr.count)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func aggCell(ri ReturnItem, vals []float64, count int) (string, error) {
+	format := func(v float64, err error) (string, error) {
+		if err != nil {
+			return "", nil // undefined aggregate over empty set -> empty cell
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64), nil
+	}
+	switch ri.Agg {
+	case AggCount:
+		if ri.Path == nil {
+			return strconv.Itoa(count), nil
+		}
+		return strconv.Itoa(len(vals)), nil
+	case AggSum:
+		if len(vals) == 0 {
+			return "", nil
+		}
+		return strconv.FormatFloat(stats.Sum(vals), 'g', -1, 64), nil
+	case AggAvg:
+		v, err := stats.Mean(vals)
+		return format(v, err)
+	case AggMin:
+		v, err := stats.Min(vals)
+		return format(v, err)
+	case AggMax:
+		v, err := stats.Max(vals)
+		return format(v, err)
+	case AggStdDev:
+		v, err := stats.SampleStdDev(vals)
+		return format(v, err)
+	case AggNone:
+		return "", fmt.Errorf("piql: plain return item in aggregate query: %s", ri.Name())
+	}
+	return "", fmt.Errorf("piql: unknown aggregate %v", ri.Agg)
+}
+
+// evalCond evaluates a condition at a context node. A nil condition is
+// true.
+func evalCond(c Cond, ctx *xmltree.Node, res Resolver) (bool, error) {
+	switch v := c.(type) {
+	case nil:
+		return true, nil
+	case *Comparison:
+		for _, n := range selectFrom(ctx, v.Path, res) {
+			if compareText(n.Text, v.Op, v.Value) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Contains:
+		for _, n := range selectFrom(ctx, v.Path, res) {
+			if strings.Contains(n.Text, v.Substr) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Exists:
+		return len(selectFrom(ctx, v.Path, res)) > 0, nil
+	case *And:
+		l, err := evalCond(v.L, ctx, res)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalCond(v.R, ctx, res)
+	case *Or:
+		l, err := evalCond(v.L, ctx, res)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return evalCond(v.R, ctx, res)
+	case *Not:
+		inner, err := evalCond(v.C, ctx, res)
+		return !inner, err
+	}
+	return false, fmt.Errorf("piql: unknown condition type %T", c)
+}
+
+// compareText compares a node's text with a literal: numerically when both
+// parse as numbers, lexicographically otherwise.
+func compareText(text string, op CmpOp, lit string) bool {
+	a, errA := strconv.ParseFloat(strings.TrimSpace(text), 64)
+	b, errB := strconv.ParseFloat(lit, 64)
+	var d int
+	if errA == nil && errB == nil {
+		switch {
+		case a < b:
+			d = -1
+		case a > b:
+			d = 1
+		}
+	} else {
+		d = strings.Compare(text, lit)
+	}
+	switch op {
+	case OpEq:
+		return d == 0
+	case OpNe:
+		return d != 0
+	case OpLt:
+		return d < 0
+	case OpLe:
+		return d <= 0
+	case OpGt:
+		return d > 0
+	case OpGe:
+		return d >= 0
+	}
+	return false
+}
+
+// selectFrom selects nodes under root matching the pattern, computing
+// paths from root itself (root contributes the first segment). When
+// nothing matches and a resolver is available, the final step is rewritten
+// through the resolver's suggestions and the first alternative that
+// matches anything wins — the approximate tag matching of Section 5.
+func selectFrom(root *xmltree.Node, pat *xmltree.PathPattern, res Resolver) []*xmltree.Node {
+	out := selectExact(root, pat)
+	if len(out) > 0 || res == nil {
+		return out
+	}
+	last := pat.LastStep()
+	if last == "*" {
+		return nil
+	}
+	for _, alt := range res(last) {
+		if alt == last {
+			continue
+		}
+		altPat, err := pat.WithLastStep(alt)
+		if err != nil {
+			continue
+		}
+		if out := selectExact(root, altPat); len(out) > 0 {
+			return out
+		}
+	}
+	return nil
+}
+
+func selectExact(root *xmltree.Node, pat *xmltree.PathPattern) []*xmltree.Node {
+	var out []*xmltree.Node
+	var walk func(n *xmltree.Node, path string)
+	walk = func(n *xmltree.Node, path string) {
+		p := path + "/" + n.Name
+		if pat.Matches(p) {
+			out = append(out, n)
+		}
+		if !pat.MatchesPrefix(p) {
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, p)
+		}
+	}
+	walk(root, "")
+	return out
+}
+
+func lastName(p *xmltree.PathPattern) string {
+	s := p.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package piql
+
+import "strings"
+
+// Features is the query characteristics vector the paper's Cluster
+// Matching module analyzes "to determine the characteristics of the query
+// results (without executing the query) and corresponding privacy
+// breaches" (Section 4). Every field is derivable from the query text
+// alone.
+type Features struct {
+	// Predicate structure.
+	EqPredicates       int
+	RangePredicates    int
+	ContainsPredicates int
+	ExistsPredicates   int
+	Negations          int
+	// Output structure.
+	PlainReturns int
+	AggReturns   int
+	GroupBys     int
+	// Semantic flags from the return paths.
+	ReturnsIdentifier bool // name, id, ssn, dob, address, ...
+	ReturnsSensitive  bool // diagnosis, medication, rate, salary, ...
+	// Requester-declared loss budget.
+	MaxLoss float64
+	// LimitN is the LIMIT clause value (0 = none); tiny limits on plain
+	// queries signal record-targeting.
+	LimitN int
+}
+
+// identifierTags are element names that directly or nearly identify an
+// individual (the quasi-identifier vocabulary of the k-anonymity
+// literature plus direct identifiers).
+var identifierTags = map[string]bool{
+	"id": true, "ssn": true, "name": true, "dob": true, "dateofbirth": true,
+	"birthdate": true, "zip": true, "zipcode": true, "address": true,
+	"phone": true, "email": true, "age": true, "sex": true,
+}
+
+// sensitiveTags are element names whose values are confidential payloads.
+var sensitiveTags = map[string]bool{
+	"diagnosis": true, "disease": true, "medication": true, "treatment": true,
+	"rate": true, "salary": true, "income": true, "hiv": true, "result": true,
+	"cases": true, "syndrome": true,
+}
+
+// ExtractFeatures analyzes the query.
+func (q *Query) ExtractFeatures() Features {
+	f := Features{MaxLoss: q.MaxLoss, GroupBys: len(q.GroupBy), LimitN: q.Limit}
+	var walk func(Cond)
+	walk = func(c Cond) {
+		switch v := c.(type) {
+		case *Comparison:
+			if v.Op == OpEq || v.Op == OpNe {
+				f.EqPredicates++
+			} else {
+				f.RangePredicates++
+			}
+		case *Contains:
+			f.ContainsPredicates++
+		case *Exists:
+			f.ExistsPredicates++
+		case *And:
+			walk(v.L)
+			walk(v.R)
+		case *Or:
+			walk(v.L)
+			walk(v.R)
+		case *Not:
+			f.Negations++
+			walk(v.C)
+		}
+	}
+	if q.Where != nil {
+		walk(q.Where)
+	}
+	for _, ri := range q.Return {
+		if ri.Agg == AggNone {
+			f.PlainReturns++
+		} else {
+			f.AggReturns++
+		}
+		if ri.Path == nil {
+			continue
+		}
+		tag := strings.ToLower(ri.Path.LastStep())
+		if identifierTags[tag] {
+			f.ReturnsIdentifier = true
+		}
+		if sensitiveTags[tag] {
+			f.ReturnsSensitive = true
+		}
+	}
+	return f
+}
+
+// Vector renders the features as a numeric vector for clustering. Counts
+// are lightly damped so one pathological query with 50 predicates does not
+// dominate the metric; booleans weigh heavily because identifier/sensitive
+// output is the privacy-relevant distinction.
+func (f Features) Vector() []float64 {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	damp := func(n int) float64 {
+		v := float64(n)
+		if v > 5 {
+			v = 5 + (v-5)/4
+		}
+		return v
+	}
+	return []float64{
+		damp(f.EqPredicates),
+		damp(f.RangePredicates),
+		damp(f.ContainsPredicates),
+		damp(f.ExistsPredicates),
+		damp(f.Negations),
+		damp(f.PlainReturns),
+		damp(f.AggReturns),
+		damp(f.GroupBys),
+		3 * b(f.ReturnsIdentifier),
+		3 * b(f.ReturnsSensitive),
+		f.MaxLoss,
+		b(f.LimitN > 0 && f.LimitN <= 5),
+	}
+}

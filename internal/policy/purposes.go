@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PurposeTree is the purpose taxonomy against which stated purposes are
+// checked. A rule written for purpose q applies to a request stating
+// purpose p iff p is q or a descendant of q — a grant for "research"
+// covers "epidemiology", not the other way around. P3P, which the paper
+// builds on, fixes a flat purpose vocabulary; a tree is the standard
+// generalization.
+type PurposeTree struct {
+	parent map[string]string // child -> parent; root maps to ""
+}
+
+// NewPurposeTree builds a taxonomy from child->parent edges rooted at
+// root. Every parent must itself be reachable from the root.
+func NewPurposeTree(root string, edges map[string]string) (*PurposeTree, error) {
+	if root == "" {
+		return nil, fmt.Errorf("policy: empty purpose root")
+	}
+	t := &PurposeTree{parent: map[string]string{root: ""}}
+	for c, p := range edges {
+		if c == root {
+			return nil, fmt.Errorf("policy: root %q cannot have a parent", root)
+		}
+		t.parent[c] = p
+	}
+	// Validate: every node must reach the root without cycles.
+	for c := range t.parent {
+		seen := map[string]bool{}
+		n := c
+		for n != root {
+			if seen[n] {
+				return nil, fmt.Errorf("policy: purpose cycle at %q", n)
+			}
+			seen[n] = true
+			p, ok := t.parent[n]
+			if !ok || p == "" {
+				return nil, fmt.Errorf("policy: purpose %q does not reach root %q", c, root)
+			}
+			n = p
+		}
+	}
+	return t, nil
+}
+
+// DefaultPurposes returns the taxonomy used throughout the examples and
+// benchmarks, covering the paper's motivating uses:
+//
+//	any
+//	├── treatment
+//	├── research
+//	│   └── epidemiology
+//	├── public-health
+//	│   ├── outbreak-control
+//	│   └── surveillance
+//	└── admin
+//	    ├── billing
+//	    └── marketing
+func DefaultPurposes() *PurposeTree {
+	t, err := NewPurposeTree("any", map[string]string{
+		"treatment":        "any",
+		"research":         "any",
+		"epidemiology":     "research",
+		"public-health":    "any",
+		"outbreak-control": "public-health",
+		"surveillance":     "public-health",
+		"admin":            "any",
+		"billing":          "admin",
+		"marketing":        "admin",
+	})
+	if err != nil {
+		panic(err) // static data
+	}
+	return t
+}
+
+// Known reports whether the purpose is in the taxonomy.
+func (t *PurposeTree) Known(p string) bool {
+	_, ok := t.parent[p]
+	return ok
+}
+
+// Implies reports whether a rule written for rulePurpose covers a request
+// stating reqPurpose: reqPurpose equals rulePurpose or descends from it.
+// Unknown purposes imply nothing and are covered by nothing (fail closed).
+func (t *PurposeTree) Implies(rulePurpose, reqPurpose string) bool {
+	if !t.Known(rulePurpose) || !t.Known(reqPurpose) {
+		return false
+	}
+	for n := reqPurpose; n != ""; n = t.parent[n] {
+		if n == rulePurpose {
+			return true
+		}
+	}
+	return false
+}
+
+// Purposes returns all purposes in the taxonomy, sorted.
+func (t *PurposeTree) Purposes() []string {
+	out := make([]string, 0, len(t.parent))
+	for p := range t.parent {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,162 @@
+package preserve
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"testing"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/stats"
+)
+
+func numericResult(n int, seed uint64) *piql.Result {
+	rng := stats.NewRand(seed)
+	res := &piql.Result{Columns: []string{"id", "age"}}
+	for i := 0; i < n; i++ {
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(i),
+			strconv.Itoa(18 + rng.Intn(80)),
+		})
+	}
+	return res
+}
+
+func column(res *piql.Result, idx int) []float64 {
+	out := make([]float64, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if v, err := strconv.ParseFloat(row[idx], 64); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestTopBottomCodeClampsOutliers(t *testing.T) {
+	res := numericResult(1000, 3)
+	// Plant extreme outliers.
+	res.Rows[0][1] = "150"
+	res.Rows[1][1] = "1"
+	coded, err := TopBottomCode{Column: "age", LowerQ: 0.05, UpperQ: 0.95}.Apply(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := column(coded, 1)
+	lo, _ := stats.Min(vals)
+	hi, _ := stats.Max(vals)
+	if hi >= 150 || lo <= 1 {
+		t.Errorf("outliers survived coding: [%v, %v]", lo, hi)
+	}
+	// The body of the distribution is untouched: median unchanged.
+	origMed, _ := stats.Median(column(res, 1))
+	codedMed, _ := stats.Median(vals)
+	if math.Abs(origMed-codedMed) > 1 {
+		t.Errorf("median moved: %v -> %v", origMed, codedMed)
+	}
+	// Input not mutated.
+	if res.Rows[0][1] != "150" {
+		t.Error("input mutated")
+	}
+}
+
+func TestTopBottomCodeValidation(t *testing.T) {
+	res := numericResult(10, 1)
+	for _, q := range [][2]float64{{-0.1, 0.9}, {0.1, 1.1}, {0.9, 0.1}, {0.5, 0.5}} {
+		if _, err := (TopBottomCode{Column: "age", LowerQ: q[0], UpperQ: q[1]}).Apply(res, nil); err == nil {
+			t.Errorf("quantiles %v should fail", q)
+		}
+	}
+	// Missing column is a no-op.
+	out, err := TopBottomCode{Column: "zz", LowerQ: 0.1, UpperQ: 0.9}.Apply(res, nil)
+	if err != nil || len(out.Rows) != 10 {
+		t.Errorf("missing column: %v", err)
+	}
+	// Non-numeric column is a no-op.
+	out, err = TopBottomCode{Column: "id", LowerQ: 0.1, UpperQ: 0.9}.Apply(
+		&piql.Result{Columns: []string{"id"}, Rows: [][]string{{"abc"}}}, nil)
+	if err != nil || out.Rows[0][0] != "abc" {
+		t.Errorf("non-numeric column: %v %v", out.Rows, err)
+	}
+}
+
+func TestRankSwapPreservesDistributionExactly(t *testing.T) {
+	res := numericResult(2000, 7)
+	swapped, err := RankSwap{Column: "age", WindowPct: 0.05}.Apply(res, stats.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := column(res, 1)
+	after := column(swapped, 1)
+	sort.Float64s(before)
+	sort.Float64s(after)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("rank swap changed the multiset at rank %d: %v vs %v", i, before[i], after[i])
+		}
+	}
+	// But record-level values moved for a decent fraction of rows.
+	moved := 0
+	for i := range res.Rows {
+		if res.Rows[i][1] != swapped.Rows[i][1] {
+			moved++
+		}
+	}
+	if moved < len(res.Rows)/4 {
+		t.Errorf("rank swap moved only %d/%d rows", moved, len(res.Rows))
+	}
+}
+
+func TestRankSwapWindowBoundsDistortion(t *testing.T) {
+	res := numericResult(2000, 9)
+	swapped, err := RankSwap{Column: "age", WindowPct: 0.02}.Apply(res, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 2% window over ages 18..97, per-record changes stay small:
+	// values move at most ~the window's value span. Check mean absolute
+	// displacement is modest.
+	var total float64
+	for i := range res.Rows {
+		a, _ := strconv.ParseFloat(res.Rows[i][1], 64)
+		b, _ := strconv.ParseFloat(swapped.Rows[i][1], 64)
+		total += math.Abs(a - b)
+	}
+	meanDisp := total / float64(len(res.Rows))
+	if meanDisp > 5 {
+		t.Errorf("mean displacement %v too large for a 2%% window", meanDisp)
+	}
+}
+
+func TestRankSwapValidation(t *testing.T) {
+	res := numericResult(10, 1)
+	if _, err := (RankSwap{Column: "age", WindowPct: 0.5}).Apply(res, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	for _, w := range []float64{0, -1, 1.5} {
+		if _, err := (RankSwap{Column: "age", WindowPct: w}).Apply(res, stats.NewRand(1)); err == nil {
+			t.Errorf("window %v should fail", w)
+		}
+	}
+	// Single numeric row: no-op.
+	tiny := &piql.Result{Columns: []string{"age"}, Rows: [][]string{{"40"}}}
+	out, err := RankSwap{Column: "age", WindowPct: 0.5}.Apply(tiny, stats.NewRand(1))
+	if err != nil || out.Rows[0][0] != "40" {
+		t.Errorf("tiny input: %v %v", out.Rows, err)
+	}
+}
+
+func TestSwappingTechniquesInPipeline(t *testing.T) {
+	res := numericResult(200, 13)
+	p := Pipeline{Steps: []Technique{
+		TopBottomCode{Column: "age", LowerQ: 0.02, UpperQ: 0.98},
+		RankSwap{Column: "age", WindowPct: 0.1},
+		DropColumns{Columns: []string{"id"}},
+	}}
+	out, err := p.Apply(res, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Columns) != 1 || out.Columns[0] != "age" {
+		t.Errorf("pipeline columns = %v", out.Columns)
+	}
+}

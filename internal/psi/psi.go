@@ -1,0 +1,193 @@
+// Package psi implements two-party private set intersection under the
+// decisional Diffie-Hellman assumption, in the commutative-encryption
+// style of Agrawal, Evfimievski and Srikant's "Information Sharing Across
+// Private Databases" (SIGMOD 2003) — reference [8] of the paper, and the
+// primitive its Result Integrator needs for "object matchings ... without
+// revealing the origins of the sources or the real world origins of the
+// entities" (Section 5).
+//
+// Construction: items hash into the prime-order subgroup of quadratic
+// residues mod a safe prime p = 2q+1. Each party holds a random exponent;
+// because exponentiation commutes, H(x)^(ab) = H(x)^(ba), so after both
+// parties have exponentiated both sets, equal items collide and nothing
+// else does (computing H(y)^a from H(x)^a for x != y is a DH problem).
+// The initiator learns which of its items the responder also holds; the
+// responder learns only the initiator's set size.
+//
+// Everything is stdlib: crypto/rand, crypto/sha256, math/big.
+package psi
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Group is a safe-prime group: p = 2q+1 with q prime. Protocol elements
+// live in the order-q subgroup of quadratic residues.
+type Group struct {
+	P *big.Int // safe prime modulus
+	Q *big.Int // (P-1)/2
+}
+
+// newGroup builds a group from a hex modulus, computing q.
+func newGroup(hexP string) *Group {
+	p, ok := new(big.Int).SetString(hexP, 16)
+	if !ok {
+		panic("psi: bad group constant")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	return &Group{P: p, Q: q}
+}
+
+// DefaultGroup returns the 2048-bit MODP group of RFC 3526 (group 14), a
+// safe prime. Use this in deployments.
+func DefaultGroup() *Group {
+	return newGroup(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05" +
+			"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB" +
+			"9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+			"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718" +
+			"3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF")
+}
+
+// TestGroup returns the 768-bit Oakley group 1 (RFC 2409), also a safe
+// prime. It is NOT adequate for production secrecy; it exists so tests and
+// benchmarks run quickly while exercising identical code paths.
+func TestGroup() *Group {
+	return newGroup(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF")
+}
+
+// HashToGroup maps an arbitrary item into the quadratic-residue subgroup:
+// expand SHA-256(item) in counter mode to the modulus width, reduce mod p,
+// then square. Squaring lands in QR(p), the order-q subgroup.
+func (g *Group) HashToGroup(item string) *big.Int {
+	byteLen := (g.P.BitLen() + 7) / 8
+	buf := make([]byte, 0, byteLen+sha256.Size)
+	var ctr uint32
+	for len(buf) < byteLen {
+		h := sha256.New()
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		io.WriteString(h, item)
+		buf = h.Sum(buf)
+		ctr++
+	}
+	v := new(big.Int).SetBytes(buf[:byteLen])
+	v.Mod(v, g.P)
+	v.Mul(v, v)
+	v.Mod(v, g.P)
+	// Zero is the only non-invertible outcome and requires SHA-256 output
+	// ≡ 0 mod p; map it to 4 (= 2^2, a QR) for totality.
+	if v.Sign() == 0 {
+		return big.NewInt(4)
+	}
+	return v
+}
+
+// Party is one protocol participant holding a secret exponent.
+type Party struct {
+	group  *Group
+	secret *big.Int
+}
+
+// NewParty draws a fresh secret exponent in [1, q-1] from rng
+// (crypto/rand.Reader in production; any reader in tests).
+func NewParty(g *Group, rng io.Reader) (*Party, error) {
+	if g == nil {
+		return nil, errors.New("psi: nil group")
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	max := new(big.Int).Sub(g.Q, big.NewInt(1)) // [0, q-2]
+	s, err := rand.Int(rng, max)
+	if err != nil {
+		return nil, fmt.Errorf("psi: drawing secret: %w", err)
+	}
+	s.Add(s, big.NewInt(1)) // [1, q-1]
+	return &Party{group: g, secret: s}, nil
+}
+
+// Group returns the party's group.
+func (p *Party) Group() *Group { return p.group }
+
+// Blind hashes each item into the group and raises it to the party's
+// secret: the first message of the protocol.
+func (p *Party) Blind(items []string) []*big.Int {
+	out := make([]*big.Int, len(items))
+	for i, it := range items {
+		out[i] = new(big.Int).Exp(p.group.HashToGroup(it), p.secret, p.group.P)
+	}
+	return out
+}
+
+// Exponentiate raises already-blinded elements (received from the peer) to
+// this party's secret, preserving order: the second message.
+func (p *Party) Exponentiate(elems []*big.Int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(elems))
+	for i, e := range elems {
+		if e == nil || e.Sign() <= 0 || e.Cmp(p.group.P) >= 0 {
+			return nil, fmt.Errorf("psi: element %d out of group range", i)
+		}
+		out[i] = new(big.Int).Exp(e, p.secret, p.group.P)
+	}
+	return out, nil
+}
+
+// Intersect runs the full semi-honest protocol in-process between an
+// initiator holding itemsA and a responder holding itemsB, both already
+// holding secrets. It returns the indices into itemsA of items the
+// responder also holds. The message flow is exactly what the network
+// transport ships:
+//
+//	A -> B: Blind(A's items)
+//	B -> A: Exponentiate(that), and Blind(B's items)
+//	A:      Exponentiate(B's blinds), compare double-blinded sets
+func Intersect(initiator, responder *Party, itemsA, itemsB []string) ([]int, error) {
+	if initiator.group.P.Cmp(responder.group.P) != 0 {
+		return nil, errors.New("psi: parties use different groups")
+	}
+	aBlind := initiator.Blind(itemsA)
+	abDouble, err := responder.Exponentiate(aBlind)
+	if err != nil {
+		return nil, err
+	}
+	bBlind := responder.Blind(itemsB)
+	baDouble, err := initiator.Exponentiate(bBlind)
+	if err != nil {
+		return nil, err
+	}
+	inB := make(map[string]bool, len(baDouble))
+	for _, e := range baDouble {
+		inB[string(e.Bytes())] = true
+	}
+	var out []int
+	for i, e := range abDouble {
+		if inB[string(e.Bytes())] {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Cardinality runs the protocol but returns only the intersection size —
+// the variant sources use when even which items matched is too revealing.
+func Cardinality(initiator, responder *Party, itemsA, itemsB []string) (int, error) {
+	idx, err := Intersect(initiator, responder, itemsA, itemsB)
+	if err != nil {
+		return 0, err
+	}
+	return len(idx), nil
+}

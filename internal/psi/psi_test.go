@@ -1,0 +1,247 @@
+package psi
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func parties(t *testing.T) (*Party, *Party) {
+	t.Helper()
+	g := TestGroup()
+	a, err := NewParty(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewParty(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestGroupsAreSafePrimes(t *testing.T) {
+	for name, g := range map[string]*Group{"default": DefaultGroup(), "test": TestGroup()} {
+		if !g.P.ProbablyPrime(32) {
+			t.Errorf("%s: p not prime", name)
+		}
+		if !g.Q.ProbablyPrime(32) {
+			t.Errorf("%s: q not prime", name)
+		}
+		// p = 2q + 1.
+		back := new(big.Int).Add(new(big.Int).Lsh(g.Q, 1), big.NewInt(1))
+		if back.Cmp(g.P) != 0 {
+			t.Errorf("%s: p != 2q+1", name)
+		}
+	}
+}
+
+func TestHashToGroupProperties(t *testing.T) {
+	g := TestGroup()
+	a := g.HashToGroup("alice@example.org")
+	b := g.HashToGroup("bob@example.org")
+	if a.Cmp(b) == 0 {
+		t.Error("distinct items hash equal")
+	}
+	if a2 := g.HashToGroup("alice@example.org"); a2.Cmp(a) != 0 {
+		t.Error("hash not deterministic")
+	}
+	// Every hash is a quadratic residue: h^q = 1 mod p.
+	for _, item := range []string{"x", "y", "", "日本語", "a very long item name with spaces"} {
+		h := g.HashToGroup(item)
+		if h.Sign() <= 0 || h.Cmp(g.P) >= 0 {
+			t.Errorf("hash out of range for %q", item)
+		}
+		one := new(big.Int).Exp(h, g.Q, g.P)
+		if one.Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("hash of %q not in QR subgroup", item)
+		}
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	a, b := parties(t)
+	g := a.Group()
+	h := g.HashToGroup("patient-4711")
+	ab, err := b.Exponentiate(a.Blind([]string{"patient-4711"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := a.Exponentiate(b.Blind([]string{"patient-4711"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab[0].Cmp(ba[0]) != 0 {
+		t.Error("double blinding does not commute")
+	}
+	_ = h
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a, b := parties(t)
+	itemsA := []string{"alice", "bob", "carol", "dan"}
+	itemsB := []string{"carol", "erin", "alice"}
+	idx, err := Intersect(a, b, itemsA, itemsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, i := range idx {
+		got[itemsA[i]] = true
+	}
+	if len(got) != 2 || !got["alice"] || !got["carol"] {
+		t.Errorf("intersection = %v", got)
+	}
+}
+
+func TestIntersectEdgeCases(t *testing.T) {
+	a, b := parties(t)
+	// Empty sets.
+	idx, err := Intersect(a, b, nil, []string{"x"})
+	if err != nil || len(idx) != 0 {
+		t.Errorf("empty A: %v %v", idx, err)
+	}
+	idx, err = Intersect(a, b, []string{"x"}, nil)
+	if err != nil || len(idx) != 0 {
+		t.Errorf("empty B: %v %v", idx, err)
+	}
+	// Disjoint.
+	idx, _ = Intersect(a, b, []string{"p", "q"}, []string{"r", "s"})
+	if len(idx) != 0 {
+		t.Errorf("disjoint sets intersected: %v", idx)
+	}
+	// Identical.
+	items := []string{"1", "2", "3"}
+	idx, _ = Intersect(a, b, items, items)
+	if len(idx) != 3 {
+		t.Errorf("identical sets: %v", idx)
+	}
+	// Duplicates on A's side each report.
+	idx, _ = Intersect(a, b, []string{"x", "x"}, []string{"x"})
+	if len(idx) != 2 {
+		t.Errorf("duplicate handling: %v", idx)
+	}
+}
+
+func TestIntersectDifferentGroupsRejected(t *testing.T) {
+	a, _ := NewParty(TestGroup(), rand.Reader)
+	b, _ := NewParty(DefaultGroup(), rand.Reader)
+	if _, err := Intersect(a, b, []string{"x"}, []string{"x"}); err == nil {
+		t.Error("mismatched groups should fail")
+	}
+}
+
+func TestExponentiateRejectsBadElements(t *testing.T) {
+	a, _ := parties(t)
+	for _, bad := range []*big.Int{nil, big.NewInt(0), big.NewInt(-5), a.Group().P} {
+		if _, err := a.Exponentiate([]*big.Int{bad}); err == nil {
+			t.Errorf("element %v should be rejected", bad)
+		}
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	a, b := parties(t)
+	n, err := Cardinality(a, b, []string{"1", "2", "3", "4"}, []string{"3", "4", "5"})
+	if err != nil || n != 2 {
+		t.Errorf("cardinality = %d, %v", n, err)
+	}
+}
+
+func TestNewPartyValidation(t *testing.T) {
+	if _, err := NewParty(nil, rand.Reader); err == nil {
+		t.Error("nil group should fail")
+	}
+	p, err := NewParty(TestGroup(), nil)
+	if err != nil || p == nil {
+		t.Errorf("nil rng should fall back to crypto/rand: %v", err)
+	}
+	// Secret is in [1, q-1].
+	if p.secret.Sign() <= 0 || p.secret.Cmp(p.group.Q) >= 0 {
+		t.Errorf("secret out of range")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	a, _ := parties(t)
+	elems := a.Blind([]string{"x", "y", "z"})
+	node := MarshalElems(elems)
+	back, err := UnmarshalElems(node, a.Group())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round trip count = %d", len(back))
+	}
+	for i := range elems {
+		if elems[i].Cmp(back[i]) != 0 {
+			t.Errorf("element %d mismatch", i)
+		}
+	}
+}
+
+func TestWireRejectsBadInput(t *testing.T) {
+	g := TestGroup()
+	a, _ := NewParty(g, rand.Reader)
+	node := MarshalElems(a.Blind([]string{"x"}))
+	node.Name = "other"
+	if _, err := UnmarshalElems(node, g); err == nil {
+		t.Error("wrong root should fail")
+	}
+	node.Name = "psi-elems"
+	node.Children[0].Text = "zz-not-hex"
+	if _, err := UnmarshalElems(node, g); err == nil {
+		t.Error("bad hex should fail")
+	}
+	node.Children[0].Text = g.P.Text(16) // == p, out of range
+	if _, err := UnmarshalElems(node, g); err == nil {
+		t.Error("out-of-range element should fail")
+	}
+}
+
+// Property: the protocol computes exactly the true intersection for random
+// small universes.
+func TestIntersectCorrectnessProperty(t *testing.T) {
+	g := TestGroup()
+	a, _ := NewParty(g, rand.Reader)
+	b, _ := NewParty(g, rand.Reader)
+	items := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	f := func(maskA, maskB uint8) bool {
+		var setA, setB []string
+		want := map[string]bool{}
+		for i, it := range items {
+			inA := maskA&(1<<i) != 0
+			inB := maskB&(1<<i) != 0
+			if inA {
+				setA = append(setA, it)
+			}
+			if inB {
+				setB = append(setB, it)
+			}
+			if inA && inB {
+				want[it] = true
+			}
+		}
+		idx, err := Intersect(a, b, setA, setB)
+		if err != nil {
+			return false
+		}
+		got := map[string]bool{}
+		for _, i := range idx {
+			got[setA[i]] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package psi
+
+import (
+	"fmt"
+	"math/big"
+
+	"privateiye/internal/xmltree"
+)
+
+// Wire encoding: protocol messages travel between sources through the
+// mediator as XML, like everything else in PRIVATE-IYE.
+//
+//	<psi-elems n="3">
+//	  <e>ab34…</e>
+//	  …
+//	</psi-elems>
+
+// MarshalElems encodes blinded group elements.
+func MarshalElems(elems []*big.Int) *xmltree.Node {
+	root := xmltree.NewElem("psi-elems").SetAttr("n", fmt.Sprint(len(elems)))
+	for _, e := range elems {
+		root.Append(xmltree.NewText("e", e.Text(16)))
+	}
+	return root
+}
+
+// UnmarshalElems decodes MarshalElems output, validating range against the
+// group.
+func UnmarshalElems(n *xmltree.Node, g *Group) ([]*big.Int, error) {
+	if n.Name != "psi-elems" {
+		return nil, fmt.Errorf("psi: expected <psi-elems>, got <%s>", n.Name)
+	}
+	var out []*big.Int
+	for i, c := range n.ChildrenNamed("e") {
+		v, ok := new(big.Int).SetString(c.Text, 16)
+		if !ok {
+			return nil, fmt.Errorf("psi: element %d is not hex", i)
+		}
+		if v.Sign() <= 0 || v.Cmp(g.P) >= 0 {
+			return nil, fmt.Errorf("psi: element %d out of range", i)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

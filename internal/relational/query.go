@@ -1,0 +1,407 @@
+package relational
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AggFunc enumerates aggregate functions. The statistical-database
+// machinery (Section 2 "Statistical Databases") operates on exactly these.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+	StdDev
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case StdDev:
+		return "STDDEV"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// Aggregate is one aggregate output column.
+type Aggregate struct {
+	Func AggFunc
+	Col  string // input column ("" allowed for COUNT)
+	As   string // output column name
+}
+
+// JoinSpec describes an equi-join with a second table.
+type JoinSpec struct {
+	Table    string
+	LeftCol  string
+	RightCol string
+}
+
+// Query is a logical query plan over a catalog: an (optionally joined)
+// scan, a selection, then either a plain projection or a grouped
+// aggregation, then ordering and an optional limit. It deliberately covers
+// the query classes the paper's privacy machinery reasons about:
+// exact-value retrieval, range selection, and aggregate publication.
+type Query struct {
+	From       string
+	Join       *JoinSpec
+	Where      Expr
+	GroupBy    []string
+	Aggregates []Aggregate
+	Select     []string // ignored when Aggregates are present
+	OrderBy    []string
+	Limit      int // 0 means no limit
+}
+
+// IsAggregate reports whether the query produces aggregate output.
+func (q *Query) IsAggregate() bool { return len(q.Aggregates) > 0 }
+
+// SQL renders the query as SQL-ish text, the form in which the Query
+// Transformer hands it to a relational destination source.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case q.IsAggregate():
+		parts := make([]string, 0, len(q.GroupBy)+len(q.Aggregates))
+		parts = append(parts, q.GroupBy...)
+		for _, a := range q.Aggregates {
+			col := a.Col
+			if col == "" {
+				col = "*"
+			}
+			parts = append(parts, fmt.Sprintf("%s(%s) AS %s", a.Func, col, a.As))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	case len(q.Select) > 0:
+		b.WriteString(strings.Join(q.Select, ", "))
+	default:
+		b.WriteString("*")
+	}
+	b.WriteString(" FROM " + q.From)
+	if q.Join != nil {
+		fmt.Fprintf(&b, " JOIN %s ON %s.%s = %s.%s",
+			q.Join.Table, q.From, q.Join.LeftCol, q.Join.Table, q.Join.RightCol)
+	}
+	if q.Where != nil {
+		if w := q.Where.SQL(); w != "TRUE" {
+			b.WriteString(" WHERE " + w)
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(q.GroupBy, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY " + strings.Join(q.OrderBy, ", "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// Execute evaluates the query against the catalog.
+func (q *Query) Execute(c *Catalog) (*Result, error) {
+	base, err := c.Table(q.From)
+	if err != nil {
+		return nil, err
+	}
+	schema := base.Schema()
+	rows := base.Rows()
+
+	if q.Join != nil {
+		schema, rows, err = hashJoin(c, q.From, schema, rows, q.Join)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if q.Where != nil {
+		filtered := rows[:0:0]
+		for _, r := range rows {
+			v, err := q.Where.Eval(schema, r)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	var res *Result
+	if q.IsAggregate() {
+		res, err = aggregate(schema, rows, q.GroupBy, q.Aggregates)
+	} else {
+		res, err = project(schema, rows, q.Select)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if len(q.OrderBy) > 0 {
+		if err := res.SortBy(q.OrderBy...); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func hashJoin(c *Catalog, leftName string, leftSchema *Schema, leftRows []Row, js *JoinSpec) (*Schema, []Row, error) {
+	right, err := c.Table(js.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	li := leftSchema.Index(js.LeftCol)
+	if li < 0 {
+		return nil, nil, fmt.Errorf("relational: join: %s has no column %q", leftName, js.LeftCol)
+	}
+	ri := right.Schema().Index(js.RightCol)
+	if ri < 0 {
+		return nil, nil, fmt.Errorf("relational: join: %s has no column %q", js.Table, js.RightCol)
+	}
+	// Joined schema: left columns, then right columns; collisions get the
+	// right table's name as a prefix.
+	cols := append([]Column(nil), leftSchema.Columns...)
+	for _, rc := range right.Schema().Columns {
+		name := rc.Name
+		if leftSchema.Index(name) >= 0 {
+			name = js.Table + "." + name
+		}
+		cols = append(cols, Column{Name: name, Type: rc.Type})
+	}
+	joined, err := NewSchema(cols...)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Build on the right, probe from the left.
+	index := map[string][]Row{}
+	for _, rr := range right.Rows() {
+		k := rr[ri].String()
+		index[k] = append(index[k], rr)
+	}
+	var out []Row
+	for _, lr := range leftRows {
+		if lr[li].IsNull {
+			continue
+		}
+		for _, rr := range index[lr[li].String()] {
+			row := make(Row, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			out = append(out, row)
+		}
+	}
+	return joined, out, nil
+}
+
+func project(schema *Schema, rows []Row, names []string) (*Result, error) {
+	if len(names) == 0 {
+		return &Result{Schema: schema, Rows: rows}, nil
+	}
+	ps, err := schema.Project(names)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = schema.Index(n)
+	}
+	out := make([]Row, len(rows))
+	for j, r := range rows {
+		row := make(Row, len(idx))
+		for i, k := range idx {
+			row[i] = r[k]
+		}
+		out[j] = row
+	}
+	return &Result{Schema: ps, Rows: out}, nil
+}
+
+type aggState struct {
+	key    Row
+	count  int64
+	sums   []float64
+	sqsums []float64
+	ns     []int64
+	mins   []Value
+	maxs   []Value
+}
+
+func aggregate(schema *Schema, rows []Row, groupBy []string, aggs []Aggregate) (*Result, error) {
+	gidx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		gidx[i] = schema.Index(g)
+		if gidx[i] < 0 {
+			return nil, fmt.Errorf("relational: group by unknown column %q", g)
+		}
+	}
+	aidx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Col == "" {
+			if a.Func != Count {
+				return nil, fmt.Errorf("relational: %s requires a column", a.Func)
+			}
+			aidx[i] = -1
+			continue
+		}
+		aidx[i] = schema.Index(a.Col)
+		if aidx[i] < 0 {
+			return nil, fmt.Errorf("relational: aggregate on unknown column %q", a.Col)
+		}
+	}
+
+	groups := map[string]*aggState{}
+	var order []string
+	for _, r := range rows {
+		var kb strings.Builder
+		key := make(Row, len(gidx))
+		for i, gi := range gidx {
+			key[i] = r[gi]
+			kb.WriteString(r[gi].String())
+			kb.WriteByte('\x00')
+		}
+		k := kb.String()
+		st, ok := groups[k]
+		if !ok {
+			st = &aggState{
+				key:    key,
+				sums:   make([]float64, len(aggs)),
+				sqsums: make([]float64, len(aggs)),
+				ns:     make([]int64, len(aggs)),
+				mins:   make([]Value, len(aggs)),
+				maxs:   make([]Value, len(aggs)),
+			}
+			for i := range st.mins {
+				st.mins[i] = Value{IsNull: true}
+				st.maxs[i] = Value{IsNull: true}
+			}
+			groups[k] = st
+			order = append(order, k)
+		}
+		st.count++
+		for i, ai := range aidx {
+			if ai < 0 {
+				continue
+			}
+			v := r[ai]
+			if v.IsNull {
+				continue
+			}
+			st.ns[i]++
+			if f, ok := v.AsFloat(); ok {
+				st.sums[i] += f
+				st.sqsums[i] += f * f
+			}
+			if st.mins[i].IsNull || Compare(v, st.mins[i]) < 0 {
+				st.mins[i] = v
+			}
+			if st.maxs[i].IsNull || Compare(v, st.maxs[i]) > 0 {
+				st.maxs[i] = v
+			}
+		}
+	}
+	// Empty input with no GROUP BY still yields one row of aggregates
+	// (COUNT = 0), matching SQL.
+	if len(order) == 0 && len(groupBy) == 0 {
+		st := &aggState{
+			sums:   make([]float64, len(aggs)),
+			sqsums: make([]float64, len(aggs)),
+			ns:     make([]int64, len(aggs)),
+			mins:   make([]Value, len(aggs)),
+			maxs:   make([]Value, len(aggs)),
+		}
+		for i := range st.mins {
+			st.mins[i] = Value{IsNull: true}
+			st.maxs[i] = Value{IsNull: true}
+		}
+		groups[""] = st
+		order = append(order, "")
+	}
+
+	cols := make([]Column, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		cols = append(cols, Column{Name: g, Type: schema.Columns[gidx[i]].Type})
+	}
+	for _, a := range aggs {
+		t := TFloat
+		if a.Func == Count {
+			t = TInt
+		}
+		if (a.Func == Min || a.Func == Max) && a.Col != "" {
+			t = schema.Columns[schema.Index(a.Col)].Type
+		}
+		cols = append(cols, Column{Name: a.As, Type: t})
+	}
+	outSchema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Row, 0, len(order))
+	for _, k := range order {
+		st := groups[k]
+		row := make(Row, 0, len(cols))
+		row = append(row, st.key...)
+		for i, a := range aggs {
+			switch a.Func {
+			case Count:
+				if a.Col == "" {
+					row = append(row, Int(st.count))
+				} else {
+					row = append(row, Int(st.ns[i]))
+				}
+			case Sum:
+				if st.ns[i] == 0 {
+					row = append(row, Null(TFloat))
+				} else {
+					row = append(row, Float(st.sums[i]))
+				}
+			case Avg:
+				if st.ns[i] == 0 {
+					row = append(row, Null(TFloat))
+				} else {
+					row = append(row, Float(st.sums[i]/float64(st.ns[i])))
+				}
+			case Min:
+				row = append(row, st.mins[i])
+			case Max:
+				row = append(row, st.maxs[i])
+			case StdDev:
+				if st.ns[i] == 0 {
+					row = append(row, Null(TFloat))
+				} else {
+					n := float64(st.ns[i])
+					mean := st.sums[i] / n
+					v := st.sqsums[i]/n - mean*mean
+					if v < 0 {
+						v = 0
+					}
+					row = append(row, Float(math.Sqrt(v)))
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return &Result{Schema: outSchema, Rows: out}, nil
+}

@@ -1,0 +1,107 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"privateiye/internal/piql"
+	"privateiye/internal/policy"
+	"privateiye/internal/stats"
+)
+
+// The rewriter's security invariant, checked over randomized policies and
+// queries: no return item, predicate, or group-by that references a
+// denied item ever survives rewriting. This is the property everything
+// downstream (execution, preservation, integration) relies on — a bug
+// here is a disclosure, not a wrong answer.
+func TestRewriteNeverLeaksDeniedItemsProperty(t *testing.T) {
+	fields := []string{"name", "dob", "age", "zip", "diagnosis", "ssn"}
+	purposes := []string{"treatment", "research", "epidemiology", "billing"}
+	pt := policy.DefaultPurposes()
+
+	run := func(seed uint64) error {
+		rng := stats.NewRand(seed)
+		// Random policy: each field independently denied, allowed at a
+		// random form/purpose, or unmentioned (default deny).
+		denied := map[string]bool{}
+		var rules []policy.Rule
+		for _, f := range fields {
+			switch rng.Intn(3) {
+			case 0:
+				rules = append(rules, policy.Rule{Item: "//patient/" + f, Purpose: "any", Effect: policy.Deny})
+				denied[f] = true
+			case 1:
+				rules = append(rules, policy.Rule{
+					Item:    "//patient/" + f,
+					Purpose: purposes[rng.Intn(len(purposes))],
+					Form:    policy.Form(rng.Intn(3) + 1), // Aggregate..Exact
+					Effect:  policy.Allow,
+					MaxLoss: 0.5,
+				})
+			default:
+				denied[f] = true // unmentioned: default deny
+			}
+		}
+		pol, err := policy.NewPolicy("s", policy.Deny, rules...)
+		if err != nil {
+			return err
+		}
+		paths := make([]string, len(fields))
+		for i, f := range fields {
+			paths[i] = "/hospital/patient/" + f
+		}
+		r := &Rewriter{Policies: []*policy.Policy{pol}, Purposes: pt, Paths: paths}
+
+		// Random query: 1-3 return fields, 0-2 predicates, random purpose.
+		var returns []string
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			returns = append(returns, "//"+fields[rng.Intn(len(fields))])
+		}
+		var preds []string
+		for i := 0; i < rng.Intn(3); i++ {
+			preds = append(preds, fmt.Sprintf("//%s = 'x'", fields[rng.Intn(len(fields))]))
+		}
+		src := "FOR //patient "
+		if len(preds) > 0 {
+			src += "WHERE " + strings.Join(preds, " AND ") + " "
+		}
+		src += "RETURN " + strings.Join(returns, ", ")
+		src += " PURPOSE " + purposes[rng.Intn(len(purposes))]
+		q, err := piql.Parse(src)
+		if err != nil {
+			return fmt.Errorf("generator bug: %q: %w", src, err)
+		}
+
+		out, err := r.Rewrite(q, "anyone")
+		if err != nil {
+			return err
+		}
+		if out.FullyDenied() {
+			return nil
+		}
+		rewritten := out.Query.String()
+		for f, isDenied := range denied {
+			if !isDenied {
+				continue
+			}
+			if strings.Contains(rewritten, "//"+f) {
+				return fmt.Errorf("denied field %q survived: policy rules %v; query %q -> %q",
+					f, rules, src, rewritten)
+			}
+		}
+		return nil
+	}
+
+	f := func(seed uint64) bool {
+		if err := run(seed); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package schemamatch implements privacy-preserving schema matching for
+// the Mediated Schema Generation module (Section 5): establishing that a
+// requester's //patient//dateOfBirth means a source's dob without the
+// source publishing its data, and without the mediator seeing raw values.
+//
+// The matcher is learning-based in the sense the paper points to (Clifton
+// et al. [14], Rahm & Bernstein [36]): it combines
+//
+//   - name evidence: synonym dictionary, token normalization
+//     (camelCase/snake_case), and character-trigram Dice similarity; and
+//   - instance evidence: field *profiles* — value statistics (length,
+//     numeric fraction, distinct ratio) a source can publish without
+//     publishing values.
+//
+// A private mode exchanges only salted keyed hashes of normalized names,
+// so matching degrades to exact-normalized-name equality; experiment E14
+// measures the accuracy a source gives up for that extra protection.
+package schemamatch
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FieldProfile is the shareable statistical summary of one field.
+type FieldProfile struct {
+	Name         string  // field name (or keyed hash in private mode)
+	AvgLen       float64 // mean value length in runes
+	NumericFrac  float64 // fraction of values parsing as numbers
+	DistinctFrac float64 // distinct values / total values
+	Samples      int     // how many values the profile summarizes
+}
+
+// ProfileValues computes a field profile locally at the source.
+func ProfileValues(name string, values []string) FieldProfile {
+	p := FieldProfile{Name: name, Samples: len(values)}
+	if len(values) == 0 {
+		return p
+	}
+	distinct := map[string]bool{}
+	numeric := 0
+	totalLen := 0
+	for _, v := range values {
+		distinct[v] = true
+		totalLen += len([]rune(v))
+		if _, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+			numeric++
+		}
+	}
+	n := float64(len(values))
+	p.AvgLen = float64(totalLen) / n
+	p.NumericFrac = float64(numeric) / n
+	p.DistinctFrac = float64(len(distinct)) / n
+	return p
+}
+
+// Matcher scores field correspondences.
+type Matcher struct {
+	// Synonyms maps a normalized name to equivalent normalized names.
+	Synonyms map[string][]string
+	// Threshold is the minimum combined score for a correspondence.
+	Threshold float64
+	// NameWeight balances name vs instance evidence in [0,1].
+	NameWeight float64
+}
+
+// NewMatcher returns a matcher with the clinical-domain synonym
+// dictionary and standard weights.
+func NewMatcher() *Matcher {
+	return &Matcher{
+		Synonyms: map[string][]string{
+			"dob":       {"dateofbirth", "birthdate", "borndate"},
+			"name":      {"fullname", "patientname", "personname"},
+			"zip":       {"zipcode", "postalcode", "postcode"},
+			"sex":       {"gender"},
+			"diagnosis": {"disease", "condition", "dx"},
+			"ssn":       {"socialsecuritynumber", "nationalid"},
+			"phone":     {"telephone", "phonenumber"},
+			"hmo":       {"plan", "insurer"},
+			"rate":      {"compliancerate", "percentage"},
+		},
+		Threshold:  0.5,
+		NameWeight: 0.65,
+	}
+}
+
+// Normalize canonicalizes a field name: lowercase, split camelCase and
+// snake/kebab separators, concatenated.
+func Normalize(name string) string {
+	var b strings.Builder
+	prevLower := false
+	for _, r := range name {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			_ = prevLower // word boundary; we just lowercase
+			b.WriteRune(r + 32)
+			prevLower = false
+		case r == '_' || r == '-' || r == ' ' || r == '.':
+			prevLower = false
+		default:
+			b.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		}
+	}
+	return b.String()
+}
+
+// synonymous reports whether two normalized names are dictionary synonyms
+// (in either direction, or siblings under the same key).
+func (m *Matcher) synonymous(a, b string) bool {
+	if a == b {
+		return true
+	}
+	check := func(key, other string) bool {
+		for _, s := range m.Synonyms[key] {
+			if s == other {
+				return true
+			}
+		}
+		return false
+	}
+	if check(a, b) || check(b, a) {
+		return true
+	}
+	for key, syns := range m.Synonyms {
+		foundA, foundB := key == a, key == b
+		for _, s := range syns {
+			if s == a {
+				foundA = true
+			}
+			if s == b {
+				foundB = true
+			}
+		}
+		if foundA && foundB {
+			return true
+		}
+	}
+	return false
+}
+
+// trigrams returns padded character trigrams of s.
+func trigrams(s string) map[string]bool {
+	s = "##" + s + "##"
+	out := map[string]bool{}
+	r := []rune(s)
+	for i := 0; i+3 <= len(r); i++ {
+		out[string(r[i:i+3])] = true
+	}
+	return out
+}
+
+// NameSimilarity scores two field names in [0,1]: 1 for equal or
+// synonymous normalized names, otherwise trigram Dice with a containment
+// bonus.
+func (m *Matcher) NameSimilarity(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	if na == "" || nb == "" {
+		return 0
+	}
+	if m.synonymous(na, nb) {
+		return 1
+	}
+	ta, tb := trigrams(na), trigrams(nb)
+	inter := 0
+	for g := range ta {
+		if tb[g] {
+			inter++
+		}
+	}
+	dice := 2 * float64(inter) / float64(len(ta)+len(tb))
+	if strings.Contains(na, nb) || strings.Contains(nb, na) {
+		dice = dice + (1-dice)*0.3
+	}
+	return dice
+}
+
+// profileSimilarity scores instance evidence in [0,1] from the statistical
+// distance of two profiles. Empty profiles are uninformative (0.5).
+func profileSimilarity(a, b FieldProfile) float64 {
+	if a.Samples == 0 || b.Samples == 0 {
+		return 0.5
+	}
+	lenDiff := a.AvgLen - b.AvgLen
+	if lenDiff < 0 {
+		lenDiff = -lenDiff
+	}
+	lenScore := 1 / (1 + lenDiff/4)
+	numDiff := a.NumericFrac - b.NumericFrac
+	if numDiff < 0 {
+		numDiff = -numDiff
+	}
+	distDiff := a.DistinctFrac - b.DistinctFrac
+	if distDiff < 0 {
+		distDiff = -distDiff
+	}
+	return (lenScore + (1 - numDiff) + (1 - distDiff)) / 3
+}
+
+// Correspondence is one matched field pair.
+type Correspondence struct {
+	Left, Right string
+	Score       float64
+}
+
+// Match computes one-to-one correspondences between two profile sets:
+// all pairs are scored, pairs below the threshold dropped, and the rest
+// matched greedily by descending score.
+func (m *Matcher) Match(left, right []FieldProfile) []Correspondence {
+	var cands []Correspondence
+	for _, l := range left {
+		for _, r := range right {
+			score := m.NameWeight*m.NameSimilarity(l.Name, r.Name) +
+				(1-m.NameWeight)*profileSimilarity(l, r)
+			if score >= m.Threshold {
+				cands = append(cands, Correspondence{Left: l.Name, Right: r.Name, Score: score})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		if cands[i].Left != cands[j].Left {
+			return cands[i].Left < cands[j].Left
+		}
+		return cands[i].Right < cands[j].Right
+	})
+	usedL, usedR := map[string]bool{}, map[string]bool{}
+	var out []Correspondence
+	for _, c := range cands {
+		if usedL[c.Left] || usedR[c.Right] {
+			continue
+		}
+		usedL[c.Left] = true
+		usedR[c.Right] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// ResolverFor adapts the matcher into a tag resolver over a target
+// vocabulary (the source's actual element names): given an unmatched tag,
+// it returns vocabulary names ranked by similarity above the threshold.
+// This is what makes PIQL queries "loosely structured" end to end.
+func (m *Matcher) ResolverFor(vocab []string) func(string) []string {
+	return func(tag string) []string {
+		type scored struct {
+			name  string
+			score float64
+		}
+		var ss []scored
+		for _, v := range vocab {
+			if s := m.NameSimilarity(tag, v); s >= m.Threshold {
+				ss = append(ss, scored{v, s})
+			}
+		}
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].score != ss[j].score {
+				return ss[i].score > ss[j].score
+			}
+			return ss[i].name < ss[j].name
+		})
+		out := make([]string, len(ss))
+		for i, s := range ss {
+			out[i] = s.name
+		}
+		return out
+	}
+}
+
+// HashVocabulary produces the private-mode exchange: keyed hashes of
+// normalized names under a salt shared by the matching parties. Only
+// parties holding the salt can compare, and only equal normalized names
+// collide.
+func HashVocabulary(salt []byte, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		mac := hmac.New(sha256.New, salt)
+		mac.Write([]byte(Normalize(n)))
+		out[i] = fmt.Sprintf("%x", mac.Sum(nil)[:12])
+	}
+	return out
+}
+
+// MatchHashed matches two hashed vocabularies by equality, returning
+// index pairs (left, right). It is the only matching possible in private
+// mode — no fuzz, no synonyms — which is exactly the accuracy cost E14
+// quantifies.
+func MatchHashed(left, right []string) [][2]int {
+	idx := map[string][]int{}
+	for j, h := range right {
+		idx[h] = append(idx[h], j)
+	}
+	var out [][2]int
+	for i, h := range left {
+		for _, j := range idx[h] {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}

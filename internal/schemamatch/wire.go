@@ -1,0 +1,59 @@
+package schemamatch
+
+import (
+	"fmt"
+	"strconv"
+
+	"privateiye/internal/xmltree"
+)
+
+// ProfilesToNode encodes field profiles for shipping to the mediator:
+//
+//	<profiles>
+//	  <field name="dob" avglen="10" numeric="0" distinct="0.98" samples="200"/>
+//	</profiles>
+func ProfilesToNode(ps []FieldProfile) *xmltree.Node {
+	root := xmltree.NewElem("profiles")
+	for _, p := range ps {
+		root.Append(xmltree.NewElem("field").
+			SetAttr("name", p.Name).
+			SetAttr("avglen", strconv.FormatFloat(p.AvgLen, 'g', -1, 64)).
+			SetAttr("numeric", strconv.FormatFloat(p.NumericFrac, 'g', -1, 64)).
+			SetAttr("distinct", strconv.FormatFloat(p.DistinctFrac, 'g', -1, 64)).
+			SetAttr("samples", strconv.Itoa(p.Samples)))
+	}
+	return root
+}
+
+// ProfilesFromNode decodes ProfilesToNode output.
+func ProfilesFromNode(n *xmltree.Node) ([]FieldProfile, error) {
+	if n.Name != "profiles" {
+		return nil, fmt.Errorf("schemamatch: expected <profiles>, got <%s>", n.Name)
+	}
+	var out []FieldProfile
+	for i, c := range n.ChildrenNamed("field") {
+		name, _ := c.Attr("name")
+		if name == "" {
+			return nil, fmt.Errorf("schemamatch: profile %d missing name", i)
+		}
+		p := FieldProfile{Name: name}
+		var err error
+		get := func(key string) float64 {
+			v, _ := c.Attr(key)
+			f, e := strconv.ParseFloat(v, 64)
+			if e != nil && err == nil {
+				err = fmt.Errorf("schemamatch: profile %q bad %s: %w", name, key, e)
+			}
+			return f
+		}
+		p.AvgLen = get("avglen")
+		p.NumericFrac = get("numeric")
+		p.DistinctFrac = get("distinct")
+		p.Samples = int(get("samples"))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

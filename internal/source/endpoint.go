@@ -1,0 +1,194 @@
+package source
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"privateiye/internal/linkage"
+	"privateiye/internal/psi"
+	"privateiye/internal/schemamatch"
+	"privateiye/internal/xmltree"
+)
+
+// Endpoint is the mediator's view of a remote source: everything the
+// mediation engine of Figure 2(b) needs, whether the source runs
+// in-process or behind HTTP. All payloads are XML nodes, so the two
+// transports are byte-identical in behaviour.
+type Endpoint interface {
+	// Name identifies the source.
+	Name() string
+	// FetchSummary returns the redacted structural summary (partial
+	// schema).
+	FetchSummary() (*xmltree.Summary, error)
+	// FetchProfiles returns shareable field profiles for schema matching.
+	FetchProfiles() ([]schemamatch.FieldProfile, error)
+	// Query executes a PIQL fragment and returns the tagged XML answer.
+	Query(piqlText, requester string) (*xmltree.Node, error)
+	// PSIBlinded returns the source's blinded linkage items for a field.
+	PSIBlinded(field string) (*xmltree.Node, error)
+	// PSIExponentiate raises peer-blinded elements to this source's
+	// secret, preserving order.
+	PSIExponentiate(elems *xmltree.Node) (*xmltree.Node, error)
+	// LinkageRecords returns Bloom-encoded records for fuzzy matching on
+	// a field.
+	LinkageRecords(field string) ([]linkage.EncodedRecord, error)
+}
+
+// linkageDefaults are the standard Bloom parameters (see internal/linkage).
+const (
+	linkageM = 1000
+	linkageK = 20
+	linkageQ = 2
+)
+
+// Local wraps a Source as an in-process Endpoint. The LinkageSalt must be
+// shared by every source participating in integration (it is the linking
+// secret); the PSI group likewise.
+type Local struct {
+	Src         *Source
+	LinkageSalt []byte
+	Group       *psi.Group
+
+	mu    sync.Mutex
+	party *psi.Party
+}
+
+// NewLocal builds a local endpoint.
+func NewLocal(src *Source, linkageSalt []byte, group *psi.Group) (*Local, error) {
+	if src == nil {
+		return nil, fmt.Errorf("source: nil source")
+	}
+	if len(linkageSalt) == 0 {
+		return nil, fmt.Errorf("source: empty linkage salt")
+	}
+	if group == nil {
+		group = psi.DefaultGroup()
+	}
+	return &Local{Src: src, LinkageSalt: linkageSalt, Group: group}, nil
+}
+
+// Name implements Endpoint.
+func (l *Local) Name() string { return l.Src.Name() }
+
+// FetchSummary implements Endpoint.
+func (l *Local) FetchSummary() (*xmltree.Summary, error) {
+	return l.Src.Summary(), nil
+}
+
+// FetchProfiles implements Endpoint.
+func (l *Local) FetchProfiles() ([]schemamatch.FieldProfile, error) {
+	return l.Src.Profiles(), nil
+}
+
+// Query implements Endpoint.
+func (l *Local) Query(piqlText, requester string) (*xmltree.Node, error) {
+	q, err := parsePIQL(piqlText)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := l.Src.Execute(q, requester)
+	if err != nil {
+		return nil, err
+	}
+	return ans.Node, nil
+}
+
+func (l *Local) psiParty() (*psi.Party, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.party == nil {
+		p, err := psi.NewParty(l.Group, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		l.party = p
+	}
+	return l.party, nil
+}
+
+// items returns the linkage items of a field along with their record ids.
+func (l *Local) items(field string) (ids, values []string) {
+	vals := l.Src.fieldValues(field, 1<<20)
+	ids = make([]string, len(vals))
+	for i := range vals {
+		ids[i] = fmt.Sprintf("%s#%d", l.Src.Name(), i)
+	}
+	return ids, vals
+}
+
+// PSIBlinded implements Endpoint.
+func (l *Local) PSIBlinded(field string) (*xmltree.Node, error) {
+	p, err := l.psiParty()
+	if err != nil {
+		return nil, err
+	}
+	_, vals := l.items(field)
+	return psi.MarshalElems(p.Blind(vals)), nil
+}
+
+// PSIExponentiate implements Endpoint.
+func (l *Local) PSIExponentiate(elems *xmltree.Node) (*xmltree.Node, error) {
+	p, err := l.psiParty()
+	if err != nil {
+		return nil, err
+	}
+	in, err := psi.UnmarshalElems(elems, l.Group)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Exponentiate(in)
+	if err != nil {
+		return nil, err
+	}
+	return psi.MarshalElems(out), nil
+}
+
+// LinkageRecords implements Endpoint.
+func (l *Local) LinkageRecords(field string) ([]linkage.EncodedRecord, error) {
+	enc, err := linkage.NewEncoder(linkageM, linkageK, linkageQ, l.LinkageSalt)
+	if err != nil {
+		return nil, err
+	}
+	ids, vals := l.items(field)
+	out := make([]linkage.EncodedRecord, len(vals))
+	for i := range vals {
+		out[i] = enc.EncodeRecord(ids[i], vals[i])
+	}
+	return out, nil
+}
+
+// PSIDoubleBlind is a convenience for tests and the mediator: it completes
+// the initiator side against a responder endpoint. It returns the double-
+// blinded versions of this endpoint's items (order-preserving) and of the
+// responder's items.
+func PSIDoubleBlind(initiator *Local, responder Endpoint, field string) (own, theirs []*big.Int, err error) {
+	p, err := initiator.psiParty()
+	if err != nil {
+		return nil, nil, err
+	}
+	_, vals := initiator.items(field)
+	blindedOwn := psi.MarshalElems(p.Blind(vals))
+	ownDouble, err := responder.PSIExponentiate(blindedOwn)
+	if err != nil {
+		return nil, nil, err
+	}
+	own, err = psi.UnmarshalElems(ownDouble, initiator.Group)
+	if err != nil {
+		return nil, nil, err
+	}
+	theirBlinded, err := responder.PSIBlinded(field)
+	if err != nil {
+		return nil, nil, err
+	}
+	theirElems, err := psi.UnmarshalElems(theirBlinded, initiator.Group)
+	if err != nil {
+		return nil, nil, err
+	}
+	theirs, err = p.Exponentiate(theirElems)
+	if err != nil {
+		return nil, nil, err
+	}
+	return own, theirs, nil
+}

@@ -1,0 +1,266 @@
+package source
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"privateiye/internal/linkage"
+	"privateiye/internal/piql"
+	"privateiye/internal/policy"
+	"privateiye/internal/schemamatch"
+	"privateiye/internal/xmltree"
+)
+
+// The HTTP transport makes a source a standalone node (cmd/piye-source).
+// Every payload is the same XML that flows in-process, so the mediator
+// treats local and remote sources identically.
+
+func parsePIQL(text string) (*piql.Query, error) {
+	q, err := piql.Parse(strings.TrimSpace(text))
+	if err != nil {
+		return nil, fmt.Errorf("source: bad query: %w", err)
+	}
+	return q, nil
+}
+
+// NewHandler exposes a Local endpoint over HTTP.
+func NewHandler(l *Local) http.Handler {
+	mux := http.NewServeMux()
+
+	writeNode := func(w http.ResponseWriter, n *xmltree.Node) {
+		w.Header().Set("Content-Type", "application/xml")
+		if err := n.Encode(w); err != nil {
+			// Headers are already sent; nothing more to do.
+			return
+		}
+	}
+	fail := func(w http.ResponseWriter, code int, err error) {
+		http.Error(w, err.Error(), code)
+	}
+
+	mux.HandleFunc("GET /summary", func(w http.ResponseWriter, r *http.Request) {
+		sum, err := l.FetchSummary()
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeNode(w, sum.ToNode())
+	})
+
+	mux.HandleFunc("GET /profiles", func(w http.ResponseWriter, r *http.Request) {
+		ps, err := l.FetchProfiles()
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeNode(w, schemamatch.ProfilesToNode(ps))
+	})
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		requester := r.Header.Get("X-Requester")
+		if requester == "" {
+			fail(w, http.StatusBadRequest, fmt.Errorf("source: missing X-Requester header"))
+			return
+		}
+		node, err := l.Query(string(body), requester)
+		if err != nil {
+			// Policy denials and audit refusals are forbidden, not broken.
+			fail(w, http.StatusForbidden, err)
+			return
+		}
+		writeNode(w, node)
+	})
+
+	mux.HandleFunc("POST /preferences", func(w http.ResponseWriter, r *http.Request) {
+		node, err := readNode(r.Body)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		pol, err := policy.PolicyFromNode(node)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := l.Src.AddPreference(pol); err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /psi/blinded", func(w http.ResponseWriter, r *http.Request) {
+		field := r.URL.Query().Get("field")
+		if field == "" {
+			fail(w, http.StatusBadRequest, fmt.Errorf("source: missing field"))
+			return
+		}
+		node, err := l.PSIBlinded(field)
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeNode(w, node)
+	})
+
+	mux.HandleFunc("POST /psi/exponentiate", func(w http.ResponseWriter, r *http.Request) {
+		in, err := readNode(r.Body)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		node, err := l.PSIExponentiate(in)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		writeNode(w, node)
+	})
+
+	mux.HandleFunc("GET /linkage/records", func(w http.ResponseWriter, r *http.Request) {
+		field := r.URL.Query().Get("field")
+		if field == "" {
+			fail(w, http.StatusBadRequest, fmt.Errorf("source: missing field"))
+			return
+		}
+		recs, err := l.LinkageRecords(field)
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeNode(w, linkage.RecordsToNode(recs, linkageM))
+	})
+
+	return mux
+}
+
+func readNode(r io.Reader) (*xmltree.Node, error) {
+	return xmltree.Parse(io.LimitReader(r, 16<<20))
+}
+
+// Client is an Endpoint over HTTP.
+type Client struct {
+	// BaseURL is the source node's address, e.g. http://localhost:7101.
+	BaseURL string
+	// SourceName is the remote source's declared name.
+	SourceName string
+	// HTTP is the underlying client; a default with timeouts is used when
+	// nil.
+	HTTP *http.Client
+}
+
+// NewClient returns a client endpoint.
+func NewClient(baseURL, sourceName string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		SourceName: sourceName,
+		HTTP:       &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Name implements Endpoint.
+func (c *Client) Name() string { return c.SourceName }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) getNode(path string) (*xmltree.Node, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: %w", c.SourceName, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("source %s: %s: %s", c.SourceName, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return readNode(resp.Body)
+}
+
+func (c *Client) postNode(path, contentType string, body string) (*xmltree.Node, error) {
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.do(req)
+}
+
+func (c *Client) do(req *http.Request) (*xmltree.Node, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: %w", c.SourceName, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("source %s: %s: %s", c.SourceName, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return readNode(resp.Body)
+}
+
+// FetchSummary implements Endpoint.
+func (c *Client) FetchSummary() (*xmltree.Summary, error) {
+	n, err := c.getNode("/summary")
+	if err != nil {
+		return nil, err
+	}
+	return xmltree.SummaryFromNode(n), nil
+}
+
+// FetchProfiles implements Endpoint.
+func (c *Client) FetchProfiles() ([]schemamatch.FieldProfile, error) {
+	n, err := c.getNode("/profiles")
+	if err != nil {
+		return nil, err
+	}
+	return schemamatch.ProfilesFromNode(n)
+}
+
+// Query implements Endpoint.
+func (c *Client) Query(piqlText, requester string) (*xmltree.Node, error) {
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/query", strings.NewReader(piqlText))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-Requester", requester)
+	return c.do(req)
+}
+
+// PSIBlinded implements Endpoint.
+func (c *Client) PSIBlinded(field string) (*xmltree.Node, error) {
+	return c.getNode("/psi/blinded?field=" + field)
+}
+
+// PSIExponentiate implements Endpoint.
+func (c *Client) PSIExponentiate(elems *xmltree.Node) (*xmltree.Node, error) {
+	return c.postNode("/psi/exponentiate", "application/xml", elems.String())
+}
+
+// LinkageRecords implements Endpoint.
+func (c *Client) LinkageRecords(field string) ([]linkage.EncodedRecord, error) {
+	n, err := c.getNode("/linkage/records?field=" + field)
+	if err != nil {
+		return nil, err
+	}
+	return linkage.RecordsFromNode(n)
+}
+
+// Interface checks.
+var (
+	_ Endpoint = (*Local)(nil)
+	_ Endpoint = (*Client)(nil)
+)

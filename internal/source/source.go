@@ -1,0 +1,457 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"privateiye/internal/accesscontrol"
+	"privateiye/internal/audit"
+	"privateiye/internal/cluster"
+	"privateiye/internal/optimizer"
+	"privateiye/internal/piql"
+	"privateiye/internal/policy"
+	"privateiye/internal/preserve"
+	"privateiye/internal/relational"
+	"privateiye/internal/rewrite"
+	"privateiye/internal/schemamatch"
+	"privateiye/internal/stats"
+	"privateiye/internal/xmltree"
+)
+
+// Config assembles a source's data and privacy machinery. Zero-value
+// optional fields get sensible defaults from New.
+type Config struct {
+	Name string
+	// Catalog holds relational tables; Docs holds XML documents. At least
+	// one must be non-empty.
+	Catalog *relational.Catalog
+	Docs    []*xmltree.Node
+	// Policy is the source's own policy (required). Preferences are
+	// data-subject policies that additionally constrain disclosures.
+	Policy      *policy.Policy
+	Preferences []*policy.Policy
+	// View declares which paths are private at all; it drives summary
+	// redaction. Optional.
+	View *policy.PrivacyView
+	// Purposes defaults to policy.DefaultPurposes.
+	Purposes *policy.PurposeTree
+	// Access is the RBAC+MLS store. Optional.
+	Access *accesscontrol.Store
+	// ClusterKB routes queries to breach classes; Registry maps breach
+	// classes to techniques. Both default to trained/standard instances.
+	ClusterKB *cluster.KB
+	Registry  *preserve.Registry
+	// Audit guards aggregate query sequences. Optional.
+	Audit *audit.Log
+	// Seed drives the deterministic random stream for perturbation.
+	Seed uint64
+}
+
+// Source is a running remote source.
+type Source struct {
+	cfg      Config
+	matcher  *schemamatch.Matcher
+	resolver piql.Resolver
+	rng      *stats.Rand
+	summary  *xmltree.Summary // full (unredacted) structural summary
+
+	mu    sync.RWMutex
+	prefs []*policy.Policy // registered data-subject preferences
+}
+
+// Answer is a fully processed query response.
+type Answer struct {
+	// Result is the preserved result.
+	Result *piql.Result
+	// Node is the tagged XML answer (Metadata Tagger output).
+	Node *xmltree.Node
+	// Breach is the predicted breach class; Technique names the applied
+	// mitigation.
+	Breach    preserve.BreachClass
+	Technique string
+	// Plan is the optimizer's explain output.
+	Plan *optimizer.Plan
+	// Rewrite is the policy rewriting outcome.
+	Rewrite *rewrite.Outcome
+	// EstimatedLoss is the planner-side information-loss estimate.
+	EstimatedLoss float64
+}
+
+// New validates the configuration and builds the source.
+func New(cfg Config) (*Source, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("source: empty name")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("source %s: no policy (privacy-preserving sources fail closed)", cfg.Name)
+	}
+	if cfg.Catalog == nil && len(cfg.Docs) == 0 {
+		return nil, fmt.Errorf("source %s: no data", cfg.Name)
+	}
+	if cfg.Purposes == nil {
+		cfg.Purposes = policy.DefaultPurposes()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = preserve.DefaultRegistry()
+	}
+	if cfg.ClusterKB == nil {
+		train, err := cluster.SyntheticWorkload(210, 1)
+		if err != nil {
+			return nil, fmt.Errorf("source %s: default cluster KB: %w", cfg.Name, err)
+		}
+		kb, err := cluster.BuildKMeans(train, 8, 1)
+		if err != nil {
+			return nil, fmt.Errorf("source %s: default cluster KB: %w", cfg.Name, err)
+		}
+		cfg.ClusterKB = kb
+	}
+	s := &Source{
+		cfg:     cfg,
+		matcher: schemamatch.NewMatcher(),
+		rng:     stats.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15),
+	}
+	s.summary = s.buildSummary()
+	s.resolver = s.matcher.ResolverFor(s.summary.LeafNames())
+	s.prefs = append(s.prefs, cfg.Preferences...)
+	return s, nil
+}
+
+// AddPreference registers a data-subject preference policy at runtime —
+// the paper's user preference language in action: "the source or user
+// specifies its privacy policies ... that are stored in the remote
+// source" (Section 3). Every subsequent disclosure must satisfy it in
+// addition to the source policy.
+func (s *Source) AddPreference(p *policy.Policy) error {
+	if p == nil {
+		return fmt.Errorf("source %s: nil preference", s.cfg.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prefs = append(s.prefs, p)
+	return nil
+}
+
+// Preferences returns the registered preference policies.
+func (s *Source) Preferences() []*policy.Policy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*policy.Policy(nil), s.prefs...)
+}
+
+// Name returns the source name.
+func (s *Source) Name() string { return s.cfg.Name }
+
+// buildSummary folds every table and document into one structural summary.
+func (s *Source) buildSummary() *xmltree.Summary {
+	sum := xmltree.NewSummary()
+	if s.cfg.Catalog != nil {
+		for _, name := range s.cfg.Catalog.Names() {
+			tab, err := s.cfg.Catalog.Table(name)
+			if err != nil {
+				continue
+			}
+			sum.Merge(relational.TableSummary(tab))
+		}
+	}
+	for _, d := range s.cfg.Docs {
+		sum.AddDocument(d)
+	}
+	return sum
+}
+
+// Summary returns the structural summary the source is willing to share:
+// the full summary with every path covered by the privacy view removed.
+// This is the "partial schema" of Figure 2 — the reason the mediated
+// schema "may not contain sufficient information to formulate exact
+// queries".
+func (s *Source) Summary() *xmltree.Summary {
+	if s.cfg.View == nil {
+		return s.summary.Redact(func(string) bool { return false })
+	}
+	return s.summary.Redact(func(p string) bool {
+		_, private := s.cfg.View.Covers(p)
+		return private
+	})
+}
+
+// Profiles returns shareable field profiles for schema matching: one per
+// non-private leaf path, profiled over that field's values.
+func (s *Source) Profiles() []schemamatch.FieldProfile {
+	shared := s.Summary()
+	var out []schemamatch.FieldProfile
+	for _, name := range shared.LeafNames() {
+		out = append(out, schemamatch.ProfileValues(name, s.fieldValues(name, 200)))
+	}
+	return out
+}
+
+// fieldValues samples up to limit values of a leaf field across stores.
+func (s *Source) fieldValues(name string, limit int) []string {
+	var out []string
+	if s.cfg.Catalog != nil {
+		for _, tn := range s.cfg.Catalog.Names() {
+			tab, err := s.cfg.Catalog.Table(tn)
+			if err != nil || tab.Schema().Index(name) < 0 {
+				continue
+			}
+			for i, row := range tab.Rows() {
+				if i >= limit || len(out) >= limit {
+					break
+				}
+				out = append(out, row[tab.Schema().Index(name)].String())
+			}
+		}
+	}
+	pat, err := xmltree.CompilePattern("//" + name)
+	if err == nil {
+		for _, d := range s.cfg.Docs {
+			if len(out) >= limit {
+				break
+			}
+			for _, n := range pat.SelectNodes(d) {
+				if len(out) >= limit {
+					break
+				}
+				out = append(out, n.Text)
+			}
+		}
+	}
+	return out
+}
+
+// Execute runs the full pipeline of Figure 2(a) on one query fragment.
+func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
+	// 1. Privacy-preserving query rewriting against policies + ACLs.
+	rw := &rewrite.Rewriter{
+		Policies: append([]*policy.Policy{s.cfg.Policy}, s.Preferences()...),
+		Purposes: s.cfg.Purposes,
+		Access:   s.cfg.Access,
+		Paths:    summaryPaths(s.summary),
+		Resolver: s.resolver,
+	}
+	outcome, err := rw.Rewrite(q, requester)
+	if err != nil {
+		return nil, err
+	}
+	if outcome.FullyDenied() {
+		return nil, fmt.Errorf("source %s: query fully denied: %s", s.cfg.Name, denialReason(outcome))
+	}
+	rq := outcome.Query
+
+	// 2. Cluster matching: predict the breach class from query features
+	// alone and pick the preservation technique.
+	cl, _, err := s.cfg.ClusterKB.Map(rq)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: cluster matching: %w", s.cfg.Name, err)
+	}
+	technique := s.cfg.Registry.For(cl.Breach)
+
+	// 3. Loss computation + privacy-conscious optimization; the budget
+	// from rewriting caps what preservation may destroy, and execution is
+	// refused outright when they cannot meet.
+	plan, err := optimizer.Optimize(rq, technique, optimizer.Stats{Rows: s.rowEstimate(rq)}, outcome.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: %w", s.cfg.Name, err)
+	}
+
+	// 4. Sequence auditing for aggregate queries.
+	if s.cfg.Audit != nil && rq.IsAggregate() {
+		set, ok := s.contextIndexSet(rq)
+		if ok && len(set) > 0 {
+			if err := s.cfg.Audit.For(requester).Commit(set); err != nil {
+				return nil, fmt.Errorf("source %s: %w", s.cfg.Name, err)
+			}
+		}
+	}
+
+	// 5. Execution: native relational when transformable, XML evaluation
+	// otherwise.
+	raw, err := s.executeRaw(rq)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: execute: %w", s.cfg.Name, err)
+	}
+
+	// 6. Privacy preservation on the results.
+	preserved, err := technique.Apply(raw, s.rng)
+	if err != nil {
+		return nil, fmt.Errorf("source %s: preservation: %w", s.cfg.Name, err)
+	}
+
+	// 7. XML transformation + metadata tagging.
+	ans := &Answer{
+		Result:        preserved,
+		Breach:        cl.Breach,
+		Technique:     technique.Name(),
+		Plan:          plan,
+		Rewrite:       outcome,
+		EstimatedLoss: estimateLoss(raw, preserved),
+	}
+	ans.Node = s.tag(ans)
+	return ans, nil
+}
+
+// executeRaw runs the rewritten query against local stores.
+func (s *Source) executeRaw(q *piql.Query) (*piql.Result, error) {
+	if s.cfg.Catalog != nil {
+		if rq, ok := TransformToRelational(q, s.cfg.Catalog, s.resolver); ok {
+			res, err := rq.Execute(s.cfg.Catalog)
+			if err != nil {
+				return nil, err
+			}
+			return ResultToPIQL(res), nil
+		}
+	}
+	merged := &piql.Result{}
+	opts := piql.EvalOptions{Resolver: s.resolver}
+	docs := s.cfg.Docs
+	if len(docs) == 0 && s.cfg.Catalog != nil {
+		// Relational-only source answering a non-transformable query:
+		// evaluate PIQL over the XML projection of each table.
+		for _, name := range s.cfg.Catalog.Names() {
+			tab, err := s.cfg.Catalog.Table(name)
+			if err != nil {
+				continue
+			}
+			docs = append(docs, relational.TableToXML(tab))
+		}
+	}
+	for _, d := range docs {
+		res, err := q.Evaluate(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		if merged.Columns == nil {
+			merged.Columns = res.Columns
+		}
+		merged.Rows = append(merged.Rows, res.Rows...)
+	}
+	if merged.Columns == nil {
+		merged.Columns = []string{}
+	}
+	return merged, nil
+}
+
+// rowEstimate counts candidate context rows for the optimizer.
+func (s *Source) rowEstimate(q *piql.Query) int {
+	n := 0
+	if s.cfg.Catalog != nil {
+		for _, name := range s.cfg.Catalog.Names() {
+			if tab, err := s.cfg.Catalog.Table(name); err == nil {
+				n += tab.Len()
+			}
+		}
+	}
+	for _, d := range s.cfg.Docs {
+		n += len(d.Children)
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// contextIndexSet computes which row indices an aggregate query touches,
+// for the sequence auditor. Only relational-transformable queries get
+// exact sets; others return ok=false (audited conservatively elsewhere).
+func (s *Source) contextIndexSet(q *piql.Query) ([]int, bool) {
+	if s.cfg.Catalog == nil {
+		return nil, false
+	}
+	rq, ok := TransformToRelational(q, s.cfg.Catalog, s.resolver)
+	if !ok {
+		return nil, false
+	}
+	tab, err := s.cfg.Catalog.Table(rq.From)
+	if err != nil {
+		return nil, false
+	}
+	var set []int
+	schema := tab.Schema()
+	for i, row := range tab.Rows() {
+		if rq.Where == nil {
+			set = append(set, i)
+			continue
+		}
+		v, err := rq.Where.Eval(schema, row)
+		if err != nil {
+			return nil, false
+		}
+		if !v.IsNull && v.Kind == relational.TBool && v.B {
+			set = append(set, i)
+		}
+	}
+	return set, true
+}
+
+// tag is the Metadata Tagger: it annotates the XML answer with the
+// privacy metadata the mediator needs for its second-level checks.
+func (s *Source) tag(a *Answer) *xmltree.Node {
+	root := xmltree.NewElem("answer").
+		SetAttr("source", s.cfg.Name).
+		SetAttr("breach", a.Breach.String()).
+		SetAttr("technique", a.Technique).
+		SetAttr("budget", strconv.FormatFloat(a.Rewrite.Budget, 'g', -1, 64)).
+		SetAttr("estloss", strconv.FormatFloat(a.EstimatedLoss, 'g', -1, 64))
+	for _, d := range a.Rewrite.DroppedReturns {
+		root.Append(xmltree.NewText("dropped", d.What).SetAttr("reason", d.Reason))
+	}
+	root.Append(a.Result.ToNode())
+	return root
+}
+
+// estimateLoss is the post-hoc information-loss measure shipped with the
+// answer. Cells the preservation removed entirely (dropped column,
+// suppressed row, or masked to "*") count as fully lost; cells that were
+// merely coarsened (generalized, rounded, perturbed) count half — the
+// requester still learns the band, just not the point value.
+func estimateLoss(before, after *piql.Result) float64 {
+	if len(before.Rows) == 0 || len(before.Columns) == 0 {
+		return 0
+	}
+	afterCol := map[string]int{}
+	for i, c := range after.Columns {
+		afterCol[c] = i
+	}
+	var lost float64
+	total := float64(len(before.Rows) * len(before.Columns))
+	for r, row := range before.Rows {
+		for c, name := range before.Columns {
+			j, ok := afterCol[name]
+			if !ok || r >= len(after.Rows) {
+				lost++
+				continue
+			}
+			switch got := after.Rows[r][j]; {
+			case got == row[c]:
+				// intact
+			case got == "*" || got == "":
+				lost++
+			default:
+				lost += 0.5
+			}
+		}
+	}
+	return lost / total
+}
+
+func summaryPaths(sum *xmltree.Summary) []string {
+	infos := sum.Paths()
+	out := make([]string, len(infos))
+	for i, p := range infos {
+		out[i] = p.Path
+	}
+	return out
+}
+
+func denialReason(o *rewrite.Outcome) string {
+	var parts []string
+	for _, d := range o.DroppedReturns {
+		parts = append(parts, d.What+": "+d.Reason)
+	}
+	if len(parts) == 0 {
+		return "no return item allowed"
+	}
+	return strings.Join(parts, "; ")
+}

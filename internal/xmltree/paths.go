@@ -1,0 +1,207 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PathPattern is a compiled loose path pattern in the XPath-flavoured
+// syntax the paper uses for privacy policies and queries, e.g.
+// "//patient//dob" or "/patients/patient/*". Supported steps:
+//
+//   - /name  — child step: the next segment must be exactly name
+//   - //name — descendant step: name may appear at any deeper level
+//   - *      — wildcard: matches any single segment
+//
+// Both the privacy-policy languages (internal/policy) and the PIQL query
+// language (internal/piql) compile their path expressions to this type, so
+// policy enforcement and query evaluation agree exactly on what a path
+// expression denotes.
+type PathPattern struct {
+	src   string
+	steps []patternStep
+}
+
+type patternStep struct {
+	name       string // "*" for wildcard
+	descendant bool   // true if this step was introduced by //
+}
+
+// CompilePattern parses a path pattern.
+func CompilePattern(src string) (*PathPattern, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return nil, fmt.Errorf("xmltree: empty path pattern")
+	}
+	if !strings.HasPrefix(s, "/") {
+		// A bare name is shorthand for a descendant match anywhere.
+		s = "//" + s
+	}
+	p := &PathPattern{src: src}
+	i := 0
+	for i < len(s) {
+		if s[i] != '/' {
+			return nil, fmt.Errorf("xmltree: bad pattern %q at offset %d", src, i)
+		}
+		descendant := false
+		i++
+		if i < len(s) && s[i] == '/' {
+			descendant = true
+			i++
+		}
+		j := i
+		for j < len(s) && s[j] != '/' {
+			j++
+		}
+		name := s[i:j]
+		if name == "" {
+			return nil, fmt.Errorf("xmltree: empty step in pattern %q", src)
+		}
+		if name != "*" && !validName(name) {
+			return nil, fmt.Errorf("xmltree: bad step %q in pattern %q", name, src)
+		}
+		p.steps = append(p.steps, patternStep{name: name, descendant: descendant})
+		i = j
+	}
+	return p, nil
+}
+
+// MustCompilePattern is CompilePattern that panics, for static patterns.
+func MustCompilePattern(src string) *PathPattern {
+	p, err := CompilePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the original pattern source.
+func (p *PathPattern) String() string { return p.src }
+
+// Matches reports whether the absolute label path (e.g.
+// "/patients/patient/dob") satisfies the pattern.
+func (p *PathPattern) Matches(path string) bool {
+	segs := splitPath(path)
+	if segs == nil {
+		return false
+	}
+	return matchSteps(p.steps, segs)
+}
+
+// MatchesPrefix reports whether the path could be a proper ancestor of
+// some path matching the pattern — used by evaluators to decide whether
+// descending into a subtree can still produce matches.
+func (p *PathPattern) MatchesPrefix(path string) bool {
+	segs := splitPath(path)
+	if segs == nil {
+		return false
+	}
+	return matchPrefix(p.steps, segs)
+}
+
+func splitPath(path string) []string {
+	if !strings.HasPrefix(path, "/") || len(path) < 2 {
+		return nil
+	}
+	return strings.Split(path[1:], "/")
+}
+
+// matchSteps reports whether segs fully satisfies steps.
+func matchSteps(steps []patternStep, segs []string) bool {
+	if len(steps) == 0 {
+		return len(segs) == 0
+	}
+	st := steps[0]
+	if !st.descendant {
+		if len(segs) == 0 || !segMatch(st.name, segs[0]) {
+			return false
+		}
+		return matchSteps(steps[1:], segs[1:])
+	}
+	// Descendant: the step may match at any depth >= 1 from here.
+	for i := 0; i < len(segs); i++ {
+		if segMatch(st.name, segs[i]) && matchSteps(steps[1:], segs[i+1:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPrefix reports whether segs is a (not necessarily proper) prefix of
+// some sequence matching steps.
+func matchPrefix(steps []patternStep, segs []string) bool {
+	if len(segs) == 0 {
+		return true
+	}
+	if len(steps) == 0 {
+		return false
+	}
+	st := steps[0]
+	if !st.descendant {
+		if !segMatch(st.name, segs[0]) {
+			return false
+		}
+		return matchPrefix(steps[1:], segs[1:])
+	}
+	for i := 0; i < len(segs); i++ {
+		if segMatch(st.name, segs[i]) && matchPrefix(steps[1:], segs[i+1:]) {
+			return true
+		}
+	}
+	// The descendant step could also match below the end of segs.
+	return true
+}
+
+func segMatch(pattern, seg string) bool {
+	return pattern == "*" || pattern == seg
+}
+
+// SelectNodes returns, in document order, every node in the tree whose
+// path matches the pattern.
+func (p *PathPattern) SelectNodes(root *Node) []*Node {
+	var out []*Node
+	root.Walk(func(n *Node) bool {
+		path := n.Path()
+		if p.Matches(path) {
+			out = append(out, n)
+		}
+		return p.MatchesPrefix(path)
+	})
+	return out
+}
+
+// validName reports whether s is a legal element-name step: letters,
+// digits, underscore, hyphen and dot, not starting with a digit, hyphen or
+// dot.
+func validName(s string) bool {
+	for i, r := range s {
+		letter := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		punct := r == '-' || r == '.'
+		if i == 0 && !letter {
+			return false
+		}
+		if !letter && !digit && !punct {
+			return false
+		}
+	}
+	return true
+}
+
+// LastStep returns the name of the pattern's final step ("*" for a
+// wildcard). Approximate tag matching rewrites this step when a loose
+// query names a field the source calls something else.
+func (p *PathPattern) LastStep() string {
+	return p.steps[len(p.steps)-1].name
+}
+
+// WithLastStep returns a copy of the pattern whose final step name is
+// replaced. The step keeps its axis (child vs descendant).
+func (p *PathPattern) WithLastStep(name string) (*PathPattern, error) {
+	if !validName(name) && name != "*" {
+		return nil, fmt.Errorf("xmltree: bad step name %q", name)
+	}
+	cp := &PathPattern{src: p.src + "→" + name, steps: append([]patternStep(nil), p.steps...)}
+	cp.steps[len(cp.steps)-1].name = name
+	return cp, nil
+}

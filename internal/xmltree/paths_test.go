@@ -1,0 +1,94 @@
+package xmltree
+
+import "testing"
+
+func TestCompilePatternErrors(t *testing.T) {
+	for _, bad := range []string{"", "  ", "/a//", "//", "/a//{", "/"} {
+		if _, err := CompilePattern(bad); err == nil {
+			t.Errorf("CompilePattern(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPatternMatches(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"/patients/patient/dob", "/patients/patient/dob", true},
+		{"/patients/patient/dob", "/patients/patient/name", false},
+		{"/patients/patient/dob", "/patients/patient", false},
+		{"//dob", "/patients/patient/dob", true},
+		{"//dob", "/dob", true},
+		{"//patient//dob", "/patients/patient/dob", true},
+		{"//patient//dob", "/patients/patient/records/dob", true},
+		{"//patient//dob", "/patients/dob", false},
+		{"/patients/*/dob", "/patients/patient/dob", true},
+		{"/patients/*/dob", "/patients/x/dob", true},
+		{"/patients/*/dob", "/patients/a/b/dob", false},
+		{"//*", "/anything/at/all", true},
+		{"dob", "/patients/patient/dob", true}, // bare-name shorthand
+		{"/a", "/a", true},
+		{"/a", "/a/b", false},
+		{"//patient", "/patients/patient", true},
+		{"//patient//dob", "/patients/patient/dob/extra", false},
+	}
+	for _, tc := range cases {
+		p, err := CompilePattern(tc.pattern)
+		if err != nil {
+			t.Fatalf("compile %q: %v", tc.pattern, err)
+		}
+		if got := p.Matches(tc.path); got != tc.want {
+			t.Errorf("%q.Matches(%q) = %v, want %v", tc.pattern, tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestPatternMatchesPrefix(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"/patients/patient/dob", "/patients", true},
+		{"/patients/patient/dob", "/patients/patient", true},
+		{"/patients/patient/dob", "/other", false},
+		{"//dob", "/anything", true}, // dob could still appear deeper
+		{"/a/b", "/a/c", false},
+		{"/a/b", "/a/b", true},
+	}
+	for _, tc := range cases {
+		p := MustCompilePattern(tc.pattern)
+		if got := p.MatchesPrefix(tc.path); got != tc.want {
+			t.Errorf("%q.MatchesPrefix(%q) = %v, want %v", tc.pattern, tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestSelectNodes(t *testing.T) {
+	root := mustParse(t, patientDoc)
+	dobs := MustCompilePattern("//patient/dob").SelectNodes(root)
+	if len(dobs) != 2 {
+		t.Fatalf("dob nodes = %d, want 2", len(dobs))
+	}
+	tests := MustCompilePattern("//tests/test").SelectNodes(root)
+	if len(tests) != 2 {
+		t.Fatalf("test nodes = %d, want 2", len(tests))
+	}
+	all := MustCompilePattern("//*").SelectNodes(root)
+	if len(all) != len(root.Descendants()) {
+		t.Fatalf("wildcard selected %d, want %d", len(all), len(root.Descendants()))
+	}
+	none := MustCompilePattern("/nonexistent//x").SelectNodes(root)
+	if len(none) != 0 {
+		t.Fatalf("selected %d nodes for impossible pattern", len(none))
+	}
+}
+
+func TestMustCompilePatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompilePattern should panic on bad input")
+		}
+	}()
+	MustCompilePattern("//")
+}

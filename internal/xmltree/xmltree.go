@@ -1,0 +1,319 @@
+// Package xmltree implements the XML data model PRIVATE-IYE is built on.
+//
+// The paper (Section 3) chooses XML because "it provides much greater
+// flexibility in the kinds of data that can be handled by our system",
+// covering relational rows, hierarchical stores and structured files with
+// one model. This package supplies that model: an ordered, labelled node
+// tree with attributes and text, parsing and serialization via
+// encoding/xml, navigation primitives used by the PIQL evaluator, and the
+// structural summaries ("DataGuides") from which the mediator builds its
+// partial mediated schema (Section 5).
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Node is one element in an XML document tree. Text content is stored on
+// the node itself (concatenation of its character data), which is the
+// granularity at which privacy policies and preservation techniques apply.
+type Node struct {
+	Name     string
+	Attrs    map[string]string
+	Text     string
+	Children []*Node
+	Parent   *Node
+}
+
+// NewElem returns a childless element node with the given name.
+func NewElem(name string) *Node {
+	return &Node{Name: name, Attrs: map[string]string{}}
+}
+
+// NewText returns an element node carrying text content, a convenience for
+// leaf fields such as <dob>1971-03-05</dob>.
+func NewText(name, text string) *Node {
+	n := NewElem(name)
+	n.Text = text
+	return n
+}
+
+// Append adds children to n, fixing up their parent pointers, and returns n
+// so construction can be chained.
+func (n *Node) Append(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// SetAttr sets an attribute and returns n for chaining.
+func (n *Node) SetAttr(key, value string) *Node {
+	if n.Attrs == nil {
+		n.Attrs = map[string]string{}
+	}
+	n.Attrs[key] = value
+	return n
+}
+
+// Attr returns the attribute value and whether it exists.
+func (n *Node) Attr(key string) (string, bool) {
+	v, ok := n.Attrs[key]
+	return v, ok
+}
+
+// Child returns the first direct child with the given name, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text of the first direct child with the given
+// name, or "" if absent. It is the accessor used throughout the mediator
+// for record fields.
+func (n *Node) ChildText(name string) string {
+	if c := n.Child(name); c != nil {
+		return c.Text
+	}
+	return ""
+}
+
+// ChildrenNamed returns all direct children with the given name.
+func (n *Node) ChildrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Walk visits n and every descendant in document order. Returning false
+// from visit prunes the subtree below the visited node.
+func (n *Node) Walk(visit func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Descendants returns every node in the subtree rooted at n (including n)
+// in document order.
+func (n *Node) Descendants() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// Path returns the absolute label path of n from its document root, e.g.
+// "/patients/patient/dob".
+func (n *Node) Path() string {
+	if n == nil {
+		return ""
+	}
+	var labels []string
+	for m := n; m != nil; m = m.Parent {
+		labels = append(labels, m.Name)
+	}
+	var b strings.Builder
+	for i := len(labels) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(labels[i])
+	}
+	return b.String()
+}
+
+// Clone deep-copies the subtree rooted at n. The copy's Parent is nil. The
+// mediator clones results before applying preservation techniques so the
+// source's canonical data is never mutated.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			c.Attrs[k] = v
+		}
+	} else {
+		c.Attrs = map[string]string{}
+	}
+	for _, ch := range n.Children {
+		cc := ch.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Remove detaches n from its parent. It is how suppression-based
+// preservation techniques drop sensitive elements.
+func (n *Node) Remove() {
+	p := n.Parent
+	if p == nil {
+		return
+	}
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	n.Parent = nil
+}
+
+// Equal reports deep equality of two subtrees (names, attrs, text,
+// children, order-sensitive).
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Text != b.Text || len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for k, v := range a.Attrs {
+		if bv, ok := b.Attrs[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse reads one XML document from r into a Node tree. Character data is
+// concatenated (trimmed) onto the containing element; processing
+// instructions and comments are skipped.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root, cur *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElem(t.Name.Local)
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple document roots")
+				}
+				root = n
+			} else {
+				cur.Append(n)
+			}
+			cur = n
+		case xml.EndElement:
+			if cur == nil {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			if cur != nil {
+				cur.Text += strings.TrimSpace(string(t))
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("xmltree: unclosed element %q", cur.Name)
+	}
+	return root, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Encode serializes the subtree rooted at n as XML to w.
+func (n *Node) Encode(w io.Writer) error {
+	return n.write(w, 0)
+}
+
+func (n *Node) write(w io.Writer, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var attrs strings.Builder
+	for _, k := range keys {
+		attrs.WriteString(fmt.Sprintf(" %s=%q", k, escape(n.Attrs[k])))
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		_, err := fmt.Fprintf(w, "%s<%s%s/>\n", indent, n.Name, attrs.String())
+		return err
+	}
+	if len(n.Children) == 0 {
+		_, err := fmt.Fprintf(w, "%s<%s%s>%s</%s>\n", indent, n.Name, attrs.String(), escape(n.Text), n.Name)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s%s>", indent, n.Name, attrs.String()); err != nil {
+		return err
+	}
+	if n.Text != "" {
+		if _, err := io.WriteString(w, escape(n.Text)); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := c.write(w, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, n.Name)
+	return err
+}
+
+// String returns the XML serialization of the subtree rooted at n.
+func (n *Node) String() string {
+	var b strings.Builder
+	if err := n.Encode(&b); err != nil {
+		return "<!-- serialization error: " + err.Error() + " -->"
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
