@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench attack experiments examples fmt
+.PHONY: all build vet test test-fast test-race test-short cover bench attack experiments examples fmt
 
 all: build vet test
 
@@ -13,8 +13,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Full check: vet, plain tests, then the race detector over everything.
+test: vet test-fast test-race
+
+test-fast:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 test-short:
 	$(GO) test -short ./...

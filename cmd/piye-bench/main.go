@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E14)")
+	only := flag.String("only", "", "run only the named experiment (E1..E17)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	flag.Parse()
 
@@ -79,6 +79,13 @@ func main() {
 				n = 20000
 			}
 			return experiments.E16PlacementAblation(n)
+		})},
+		{"E17", wrap(func() (*experiments.Table, error) {
+			n := 40
+			if *quick {
+				n = 12
+			}
+			return experiments.E17Resilience(n)
 		})},
 	}
 

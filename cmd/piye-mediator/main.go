@@ -13,13 +13,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"privateiye/internal/mediator"
+	"privateiye/internal/resilience"
 	"privateiye/internal/source"
 )
 
@@ -42,6 +47,10 @@ func main() {
 	whCap := flag.Int("warehouse", 0, "warehouse capacity (0 = pure virtual querying)")
 	whTTL := flag.Int64("warehouse-ttl", 100, "warehouse freshness in integration rounds")
 	salt := flag.String("salt", "privateiye-default-linking-salt", "shared linkage salt")
+	srcTimeout := flag.Duration("source-timeout", 10*time.Second, "per-source deadline during fan-out (0 = none)")
+	retries := flag.Int("retries", 3, "attempts per source call (1 = no retry)")
+	brkFailures := flag.Int("breaker-failures", 5, "consecutive failures before a source's circuit opens (0 = breaker off)")
+	brkCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit waits before a half-open probe")
 	flag.Parse()
 
 	if len(sources) == 0 {
@@ -53,17 +62,48 @@ func main() {
 		eps = append(eps, source.NewClient(parts[1], parts[0]))
 	}
 
+	var res *resilience.EndpointConfig
+	if *brkFailures > 0 || *retries > 1 {
+		res = &resilience.EndpointConfig{
+			Policy:         resilience.Policy{MaxAttempts: *retries},
+			Breaker:        resilience.BreakerConfig{FailureThreshold: *brkFailures, OpenFor: *brkCooldown},
+			DisableBreaker: *brkFailures == 0,
+		}
+	}
 	med, err := mediator.New(mediator.Config{
 		Endpoints:         eps,
 		LinkageSalt:       []byte(*salt),
 		DedupColumn:       *dedup,
 		WarehouseCapacity: *whCap,
 		WarehouseTTL:      *whTTL,
+		SourceTimeout:     *srcTimeout,
+		Resilience:        res,
 	})
 	if err != nil {
 		log.Fatalf("piye-mediator: %v", err)
 	}
 	log.Printf("piye-mediator serving %d sources on %s (schema: %d paths)",
 		len(eps), *addr, med.MediatedSchema().Len())
-	log.Fatal(http.ListenAndServe(*addr, mediator.NewHandler(med)))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mediator.NewHandler(med),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("piye-mediator: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("piye-mediator: shutting down, draining in-flight queries")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("piye-mediator: shutdown: %v", err)
+		}
+	}
 }

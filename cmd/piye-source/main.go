@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"privateiye/internal/clinical"
 	"privateiye/internal/policy"
@@ -93,7 +97,27 @@ func main() {
 	}
 
 	log.Printf("piye-source %s serving %s (%s) on %s", *name, *dataset, pol.Owner, *addr)
-	log.Fatal(http.ListenAndServe(*addr, source.NewHandler(local)))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           source.NewHandler(local),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("piye-source: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("piye-source %s: shutting down, draining in-flight requests", *name)
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("piye-source: shutdown: %v", err)
+		}
+	}
 }
 
 func must(err error) {

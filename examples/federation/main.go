@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"net/http"
@@ -70,7 +72,7 @@ func main() {
 	}
 
 	// Cross-node private intersection, relayed by the mediator.
-	n, err := mediator.PrivateOverlap(
+	n, err := mediator.PrivateOverlap(context.Background(),
 		source.NewClient(nodeA.URL, "hospitalA"),
 		source.NewClient(nodeB.URL, "hospitalB"),
 		"diagnosis")

@@ -8,6 +8,8 @@ package privateiye
 // surface.
 
 import (
+	"context"
+
 	"privateiye/internal/accesscontrol"
 	"privateiye/internal/audit"
 	"privateiye/internal/clinical"
@@ -17,6 +19,7 @@ import (
 	"privateiye/internal/preserve"
 	"privateiye/internal/psi"
 	"privateiye/internal/relational"
+	"privateiye/internal/resilience"
 	"privateiye/internal/source"
 	"privateiye/internal/xmltree"
 )
@@ -191,8 +194,47 @@ type Endpoint = source.Endpoint
 // PrivateOverlap counts |A ∩ B| of two sources' field values via relayed
 // PSI: neither source reveals its set; the caller learns only the size.
 func PrivateOverlap(a, b Endpoint, field string) (int, error) {
-	return mediator.PrivateOverlap(a, b, field)
+	return mediator.PrivateOverlap(context.Background(), a, b, field)
 }
+
+// PrivateOverlapContext is PrivateOverlap under the caller's context:
+// cancellation and deadlines propagate to both sources.
+func PrivateOverlapContext(ctx context.Context, a, b Endpoint, field string) (int, error) {
+	return mediator.PrivateOverlap(ctx, a, b, field)
+}
+
+// --- Resilience -----------------------------------------------------------
+
+// ResilienceConfig wraps endpoints with retry/backoff and a per-source
+// circuit breaker; set it on SystemConfig.Resilience. RetryPolicy and
+// BreakerConfig are its two halves.
+type (
+	ResilienceConfig = resilience.EndpointConfig
+	RetryPolicy      = resilience.Policy
+	BreakerConfig    = resilience.BreakerConfig
+)
+
+// ChaosConfig and ChaosEndpoint inject deterministic faults (latency,
+// error rates, hangs, flapping) into any Endpoint — the harness for
+// testing a deployment's failure semantics.
+type (
+	ChaosConfig   = resilience.ChaosConfig
+	ChaosEndpoint = resilience.Chaos
+)
+
+// WrapResilient decorates any endpoint with retry/backoff and a circuit
+// breaker. Wrap each endpoint separately: breakers are per-source.
+func WrapResilient(ep Endpoint, cfg ResilienceConfig) Endpoint {
+	return resilience.WrapEndpoint(ep, cfg)
+}
+
+// NewChaosEndpoint wraps an endpoint with a deterministic fault schedule.
+func NewChaosEndpoint(ep Endpoint, cfg ChaosConfig) *ChaosEndpoint {
+	return resilience.NewChaos(ep, cfg)
+}
+
+// ErrCircuitOpen marks calls skipped by an open circuit breaker.
+var ErrCircuitOpen = resilience.ErrOpen
 
 // ReleaseDecision is the Privacy Control verdict on an aggregate release.
 type ReleaseDecision = mediator.ReleaseDecision

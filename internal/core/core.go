@@ -7,10 +7,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"privateiye/internal/mediator"
 	"privateiye/internal/psi"
+	"privateiye/internal/resilience"
 	"privateiye/internal/source"
 	"privateiye/internal/xmltree"
 )
@@ -43,6 +46,13 @@ type SystemConfig struct {
 	// MaxDisclosure is the Privacy Control threshold for aggregate
 	// releases.
 	MaxDisclosure float64
+	// SourceTimeout bounds each per-source call during mediation (0 =
+	// no deadline): a source that misses it is reported in Denied with
+	// a timeout reason instead of stalling the whole query.
+	SourceTimeout time.Duration
+	// Resilience, when non-nil, wraps every endpoint with retry/backoff
+	// and a per-source circuit breaker (see internal/resilience).
+	Resilience *resilience.EndpointConfig
 }
 
 // System is a running PRIVATE-IYE deployment.
@@ -93,6 +103,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		WarehouseCapacity: cfg.WarehouseCapacity,
 		WarehouseTTL:      cfg.WarehouseTTL,
 		MaxDisclosure:     cfg.MaxDisclosure,
+		SourceTimeout:     cfg.SourceTimeout,
+		Resilience:        cfg.Resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -101,9 +113,17 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	return sys, nil
 }
 
-// Query runs one PIQL query through the mediation engine.
+// Query runs one PIQL query through the mediation engine with a
+// background context.
 func (s *System) Query(piqlText, requester string) (*mediator.Integrated, error) {
 	return s.med.Query(piqlText, requester)
+}
+
+// QueryContext runs one PIQL query through the mediation engine under
+// the caller's context: cancellation and deadlines propagate to every
+// source call.
+func (s *System) QueryContext(ctx context.Context, piqlText, requester string) (*mediator.Integrated, error) {
+	return s.med.QueryContext(ctx, piqlText, requester)
 }
 
 // Mediator exposes the mediation engine (privacy control, history,

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 
 	"privateiye/internal/attack"
@@ -85,20 +86,20 @@ func (m *Mediator) CheckAggregateRelease(matrix [][]float64, places int, thresho
 // Integrator uses this to estimate duplication before deciding whether a
 // fuzzy dedup pass is worth its cost, and Example 2 uses it to count
 // shared patients across jurisdictions.
-func PrivateOverlap(a, b source.Endpoint, field string) (int, error) {
-	aBlind, err := a.PSIBlinded(field)
+func PrivateOverlap(ctx context.Context, a, b source.Endpoint, field string) (int, error) {
+	aBlind, err := a.PSIBlinded(ctx, field)
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi blind %s: %w", a.Name(), err)
 	}
-	aDouble, err := b.PSIExponentiate(aBlind)
+	aDouble, err := b.PSIExponentiate(ctx, aBlind)
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi exponentiate at %s: %w", b.Name(), err)
 	}
-	bBlind, err := b.PSIBlinded(field)
+	bBlind, err := b.PSIBlinded(ctx, field)
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi blind %s: %w", b.Name(), err)
 	}
-	bDouble, err := a.PSIExponentiate(bBlind)
+	bDouble, err := a.PSIExponentiate(ctx, bBlind)
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi exponentiate at %s: %w", a.Name(), err)
 	}

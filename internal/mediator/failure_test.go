@@ -1,48 +1,23 @@
 package mediator
 
 import (
-	"errors"
+	"context"
+	"strings"
 	"testing"
+	"time"
 
-	"privateiye/internal/schemamatch"
+	"privateiye/internal/resilience"
 	"privateiye/internal/source"
-	"privateiye/internal/xmltree"
 )
 
-// flakyEndpoint wraps a working endpoint and fails on command — the dead
-// or partitioned source node every federation eventually has.
-type flakyEndpoint struct {
-	source.Endpoint
-	down *bool
-}
-
-var errDown = errors.New("connection refused")
-
-func (f flakyEndpoint) FetchSummary() (*xmltree.Summary, error) {
-	if *f.down {
-		return nil, errDown
-	}
-	return f.Endpoint.FetchSummary()
-}
-
-func (f flakyEndpoint) FetchProfiles() ([]schemamatch.FieldProfile, error) {
-	if *f.down {
-		return nil, errDown
-	}
-	return f.Endpoint.FetchProfiles()
-}
-
-func (f flakyEndpoint) Query(piqlText, requester string) (*xmltree.Node, error) {
-	if *f.down {
-		return nil, errDown
-	}
-	return f.Endpoint.Query(piqlText, requester)
-}
+// The federation's failure modes: dead nodes, hanging nodes, flapping
+// nodes, and callers that give up. All injected deterministically via
+// resilience.Chaos — the same wrapper E17 uses.
 
 func TestIntegrationSurvivesDeadSource(t *testing.T) {
 	eps := twoHospitals(t)
-	down := false
-	eps[1] = flakyEndpoint{Endpoint: eps[1], down: &down}
+	chaosB := resilience.NewChaos(eps[1], resilience.ChaosConfig{})
+	eps[1] = chaosB
 
 	m, err := New(Config{Endpoints: eps})
 	if err != nil {
@@ -61,7 +36,7 @@ func TestIntegrationSurvivesDeadSource(t *testing.T) {
 
 	// Source B dies: integration continues with A, and B's failure is
 	// reported, not fatal.
-	down = true
+	chaosB.SetDown(true)
 	in, err = m.Query(q, "r")
 	if err != nil {
 		t.Fatalf("one dead source must not kill integration: %v", err)
@@ -75,13 +50,12 @@ func TestIntegrationSurvivesDeadSource(t *testing.T) {
 
 	// Both dead: the query fails with the collected reasons. Construct
 	// while A is still up (New needs at least one summary), then kill it.
-	aDown := false
-	eps[0] = flakyEndpoint{Endpoint: eps[0], down: &aDown}
-	m2, err := New(Config{Endpoints: []source.Endpoint{eps[0], eps[1]}})
+	chaosA := resilience.NewChaos(eps[0], resilience.ChaosConfig{})
+	m2, err := New(Config{Endpoints: []source.Endpoint{chaosA, chaosB}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	aDown = true
+	chaosA.SetDown(true)
 	if _, err := m2.Query(q, "r"); err == nil {
 		t.Error("all sources dead should fail the query")
 	}
@@ -89,14 +63,14 @@ func TestIntegrationSurvivesDeadSource(t *testing.T) {
 
 func TestRefreshSchemaSkipsDeadSources(t *testing.T) {
 	eps := twoHospitals(t)
-	down := false
-	eps[1] = flakyEndpoint{Endpoint: eps[1], down: &down}
+	chaosB := resilience.NewChaos(eps[1], resilience.ChaosConfig{})
+	eps[1] = chaosB
 	m, err := New(Config{Endpoints: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := m.MediatedSchema().Len()
-	down = true
+	chaosB.SetDown(true)
 	if err := m.RefreshSchema(); err != nil {
 		t.Fatalf("refresh with one dead source should succeed: %v", err)
 	}
@@ -107,12 +81,166 @@ func TestRefreshSchemaSkipsDeadSources(t *testing.T) {
 
 func TestNewFailsWhenNoSourceSummarizes(t *testing.T) {
 	eps := twoHospitals(t)
-	down := true
-	dead := []source.Endpoint{
-		flakyEndpoint{Endpoint: eps[0], down: &down},
-		flakyEndpoint{Endpoint: eps[1], down: &down},
-	}
-	if _, err := New(Config{Endpoints: dead}); err == nil {
+	a := resilience.NewChaos(eps[0], resilience.ChaosConfig{})
+	b := resilience.NewChaos(eps[1], resilience.ChaosConfig{})
+	a.SetDown(true)
+	b.SetDown(true)
+	if _, err := New(Config{Endpoints: []source.Endpoint{a, b}}); err == nil {
 		t.Error("mediator over only dead sources should fail to start")
+	}
+}
+
+func TestHangingSourceReturnsPartialWithinDeadline(t *testing.T) {
+	eps := twoHospitals(t)
+	chaosB := resilience.NewChaos(eps[1], resilience.ChaosConfig{})
+	eps[1] = chaosB
+
+	m, err := New(Config{Endpoints: eps, SourceTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosB.SetHang(true)
+
+	start := time.Now()
+	in, err := m.Query("FOR //patients/row RETURN //sex PURPOSE research MAXLOSS 1", "r")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("a hanging source must not kill integration: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("query took %v; the 200ms per-source deadline did not bound it", elapsed)
+	}
+	if len(in.Answered) != 1 || in.Answered[0] != "hospitalA" {
+		t.Errorf("answered = %v", in.Answered)
+	}
+	reason, hung := in.Denied["hospitalB"]
+	if !hung {
+		t.Fatalf("hung source should appear in Denied: %v", in.Denied)
+	}
+	if !strings.HasPrefix(reason, "timeout:") {
+		t.Errorf("hang denial should be a distinguishable timeout, got %q", reason)
+	}
+}
+
+func TestCircuitBreakerSkipsDeadSourceThenRecovers(t *testing.T) {
+	eps := twoHospitals(t)
+	chaosB := resilience.NewChaos(eps[1], resilience.ChaosConfig{})
+	eps[1] = chaosB
+
+	m, err := New(Config{
+		Endpoints:     eps,
+		SourceTimeout: time.Second,
+		Resilience: &resilience.EndpointConfig{
+			Policy:  resilience.Policy{MaxAttempts: 1},
+			Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenFor: 50 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "FOR //patients/row RETURN //sex PURPOSE research MAXLOSS 1"
+
+	chaosB.SetDown(true)
+	// Two failing queries open the circuit.
+	for i := 0; i < 2; i++ {
+		if _, err := m.Query(q, "r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dialsWhenOpen := chaosB.Calls()
+	// While open, B is skipped without dialing and the denial says so.
+	for i := 0; i < 3; i++ {
+		in, err := m.Query(q, "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reason, skipped := in.Denied["hospitalB"]
+		if !skipped || !strings.Contains(reason, "circuit open") {
+			t.Fatalf("open breaker should skip with a circuit-open reason: %v", in.Denied)
+		}
+	}
+	if got := chaosB.Calls(); got != dialsWhenOpen {
+		t.Errorf("open breaker dialed the dead source: %d dials, want %d", got, dialsWhenOpen)
+	}
+
+	// The node recovers; after the cool-down a half-open probe
+	// re-admits it.
+	chaosB.SetDown(false)
+	time.Sleep(70 * time.Millisecond)
+	in, err := m.Query(q, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Answered) != 2 {
+		t.Errorf("recovered source should answer again: answered=%v denied=%v", in.Answered, in.Denied)
+	}
+}
+
+func TestFlappingSourceBreakerHoldsPartialAnswers(t *testing.T) {
+	eps := twoHospitals(t)
+	// Flap every 3 calls: the schedule is deterministic, so whatever the
+	// phase, every query either integrates both sources or returns a
+	// partial answer — never an error.
+	chaosB := resilience.NewChaos(eps[1], resilience.ChaosConfig{FlapEvery: 3})
+	eps[1] = chaosB
+	m, err := New(Config{
+		Endpoints:     eps,
+		SourceTimeout: time.Second,
+		Resilience: &resilience.EndpointConfig{
+			Policy:  resilience.Policy{MaxAttempts: 1},
+			Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenFor: 10 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "FOR //patients/row RETURN //sex PURPOSE research MAXLOSS 1"
+	sawPartial, sawFull := false, false
+	for i := 0; i < 12; i++ {
+		in, err := m.Query(q, "r")
+		if err != nil {
+			t.Fatalf("query %d: flapping source must degrade, not fail: %v", i, err)
+		}
+		if len(in.Answered) == 2 {
+			sawFull = true
+		} else {
+			sawPartial = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawPartial || !sawFull {
+		t.Errorf("flap should produce both full and partial rounds (full=%v partial=%v)", sawFull, sawPartial)
+	}
+}
+
+func TestContextCancellationMidFanout(t *testing.T) {
+	eps := twoHospitals(t)
+	a := resilience.NewChaos(eps[0], resilience.ChaosConfig{})
+	b := resilience.NewChaos(eps[1], resilience.ChaosConfig{})
+
+	// No per-source deadline: only the caller's cancellation can
+	// unblock the hung fan-out.
+	m, err := New(Config{Endpoints: []source.Endpoint{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetHang(true)
+	b.SetHang(true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = m.QueryContext(ctx, "FOR //patients/row RETURN //sex PURPOSE research MAXLOSS 1", "r")
+	if err == nil {
+		t.Fatal("cancellation with every source hung should fail the query")
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Errorf("error should surface the cancellation: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v to take effect", elapsed)
 	}
 }

@@ -86,7 +86,7 @@ func NewHandler(m *Mediator) http.Handler {
 			http.Error(w, "mediator: missing X-Requester header", http.StatusBadRequest)
 			return
 		}
-		in, err := m.Query(string(body), requester)
+		in, err := m.QueryContext(r.Context(), string(body), requester)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusForbidden)
 			return
@@ -125,7 +125,7 @@ func NewHandler(m *Mediator) http.Handler {
 	})
 
 	mux.HandleFunc("POST /refresh", func(w http.ResponseWriter, r *http.Request) {
-		if err := m.RefreshSchema(); err != nil {
+		if err := m.RefreshSchemaContext(r.Context()); err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}

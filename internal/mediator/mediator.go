@@ -6,13 +6,17 @@
 package mediator
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"privateiye/internal/linkage"
 	"privateiye/internal/piql"
+	"privateiye/internal/resilience"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/source"
 	"privateiye/internal/warehouse"
@@ -48,6 +52,16 @@ type Config struct {
 	// (default 0.5: the default mitigations round aggregates to
 	// integers).
 	LedgerTolerance float64
+	// SourceTimeout bounds each individual source call during fan-out
+	// and schema refresh (0 = no per-source deadline). A source that
+	// misses the deadline is recorded in Denied with a timeout reason;
+	// the integrator returns whatever answered in time.
+	SourceTimeout time.Duration
+	// Resilience, when non-nil, wraps every endpoint in a
+	// resilience.Endpoint: policy-driven retry with backoff plus a
+	// per-source circuit breaker that skips known-dead sources instead
+	// of re-dialing them on every query.
+	Resilience *resilience.EndpointConfig
 }
 
 // Mediator is a running mediation engine.
@@ -92,6 +106,15 @@ func New(cfg Config) (*Mediator, error) {
 	if cfg.LedgerTolerance == 0 {
 		cfg.LedgerTolerance = 0.5
 	}
+	if cfg.Resilience != nil {
+		// Wrap a copy: each endpoint gets its own circuit breaker, and
+		// the caller's slice stays untouched.
+		wrapped := make([]source.Endpoint, len(cfg.Endpoints))
+		for i, ep := range cfg.Endpoints {
+			wrapped[i] = resilience.WrapEndpoint(ep, *cfg.Resilience)
+		}
+		cfg.Endpoints = wrapped
+	}
 	m := &Mediator{
 		cfg:      cfg,
 		matcher:  schemamatch.NewMatcher(),
@@ -111,24 +134,55 @@ func New(cfg Config) (*Mediator, error) {
 	return m, nil
 }
 
-// RefreshSchema re-runs Mediated Schema Generation: fetch every source's
-// partial summary and merge them. Sources that fail to answer are skipped
-// (they simply contribute nothing to the mediated schema).
+// RefreshSchema re-runs Mediated Schema Generation with a background
+// context; see RefreshSchemaContext.
 func (m *Mediator) RefreshSchema() error {
+	return m.RefreshSchemaContext(context.Background())
+}
+
+// RefreshSchemaContext re-runs Mediated Schema Generation: fetch every
+// source's partial summary (concurrently, each under the per-source
+// deadline) and merge them. Sources that fail to answer are skipped
+// (they simply contribute nothing to the mediated schema).
+func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
+	type fetched struct {
+		sum      *xmltree.Summary
+		profiles []schemamatch.FieldProfile
+	}
+	results := make([]fetched, len(m.cfg.Endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range m.cfg.Endpoints {
+		wg.Add(1)
+		go func(i int, ep source.Endpoint) {
+			defer wg.Done()
+			sctx, cancel := m.sourceCtx(ctx)
+			defer cancel()
+			sum, err := ep.FetchSummary(sctx)
+			if err != nil {
+				return
+			}
+			results[i].sum = sum
+			if ps, err := ep.FetchProfiles(sctx); err == nil {
+				results[i].profiles = ps
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+
+	// Merge in endpoint order so the mediated schema is deterministic.
 	merged := xmltree.NewSummary()
 	bySource := map[string]*xmltree.Summary{}
 	profiles := map[string][]schemamatch.FieldProfile{}
 	okCount := 0
-	for _, ep := range m.cfg.Endpoints {
-		sum, err := ep.FetchSummary()
-		if err != nil {
+	for i, ep := range m.cfg.Endpoints {
+		if results[i].sum == nil {
 			continue
 		}
-		bySource[ep.Name()] = sum
-		merged.Merge(sum)
+		bySource[ep.Name()] = results[i].sum
+		merged.Merge(results[i].sum)
 		okCount++
-		if ps, err := ep.FetchProfiles(); err == nil {
-			profiles[ep.Name()] = ps
+		if results[i].profiles != nil {
+			profiles[ep.Name()] = results[i].profiles
 		}
 	}
 	if okCount == 0 {
@@ -174,8 +228,45 @@ type Integrated struct {
 	FromWarehouse bool
 }
 
-// Query runs the full mediation pipeline for a PIQL query text.
+// Query runs the full mediation pipeline with a background context; see
+// QueryContext.
 func (m *Mediator) Query(piqlText, requester string) (*Integrated, error) {
+	return m.QueryContext(context.Background(), piqlText, requester)
+}
+
+// sourceCtx derives the per-source call context: the caller's context,
+// bounded by the configured per-source deadline.
+func (m *Mediator) sourceCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if m.cfg.SourceTimeout > 0 {
+		return context.WithTimeout(ctx, m.cfg.SourceTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// denialReason renders a source failure for the Denied map. Timeouts and
+// circuit-breaker skips get distinguishable prefixes so callers (and the
+// E17 experiment) can tell a straggler from a policy refusal.
+func (m *Mediator) denialReason(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if m.cfg.SourceTimeout > 0 {
+			return fmt.Sprintf("timeout: no answer within %v", m.cfg.SourceTimeout)
+		}
+		return "timeout: " + err.Error()
+	case errors.Is(err, context.Canceled):
+		return "canceled: " + err.Error()
+	case errors.Is(err, resilience.ErrOpen):
+		return "skipped: " + err.Error()
+	default:
+		return err.Error()
+	}
+}
+
+// QueryContext runs the full mediation pipeline for a PIQL query text.
+// Every source is queried concurrently under its own deadline
+// (Config.SourceTimeout); the integrator returns whatever answered in
+// time and records stragglers in Denied with a timeout reason.
+func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string) (*Integrated, error) {
 	q, err := piql.Parse(strings.TrimSpace(piqlText))
 	if err != nil {
 		return nil, fmt.Errorf("mediator: %w", err)
@@ -202,24 +293,25 @@ func (m *Mediator) Query(piqlText, requester string) (*Integrated, error) {
 		node *xmltree.Node
 		err  error
 	}
+	// Each goroutine sends exactly one reply into the buffered channel,
+	// so a source that overruns its deadline cannot stall collection and
+	// the goroutine never leaks.
 	replies := make(chan reply, len(targets))
-	var wg sync.WaitGroup
 	for _, ep := range targets {
-		wg.Add(1)
 		go func(ep source.Endpoint) {
-			defer wg.Done()
-			node, err := ep.Query(canonical, requester)
+			sctx, cancel := m.sourceCtx(ctx)
+			defer cancel()
+			node, err := ep.Query(sctx, canonical, requester)
 			replies <- reply{name: ep.Name(), node: node, err: err}
 		}(ep)
 	}
-	wg.Wait()
-	close(replies)
 
 	out := &Integrated{Denied: map[string]string{}}
 	var answers []*answer
-	for r := range replies {
+	for range targets {
+		r := <-replies
 		if r.err != nil {
-			out.Denied[r.name] = r.err.Error()
+			out.Denied[r.name] = m.denialReason(r.err)
 			continue
 		}
 		a, err := parseAnswer(r.node)

@@ -1,0 +1,143 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open: the
+// source is presumed dead and is not dialed. The mediator reports it in
+// Denied as a skip, distinguishable from a real refusal.
+var ErrOpen = errors.New("circuit open (source presumed down)")
+
+// BreakerConfig parameterizes a circuit breaker. The zero value gets
+// defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that opens
+	// the circuit (default 5).
+	FailureThreshold int
+	// OpenFor is the cool-down before a half-open probe is admitted
+	// (default 5s).
+	OpenFor time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Breaker state machine: Closed (normal) → Open after FailureThreshold
+// consecutive failures → HalfOpen after the cool-down, admitting exactly
+// one probe → Closed on probe success, Open again on probe failure.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-source circuit breaker. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed. While open it returns
+// ErrOpen without dialing; once the cool-down has elapsed it admits a
+// single half-open probe (concurrent callers still get ErrOpen until
+// the probe reports).
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenFor {
+			return ErrOpen
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Report records the outcome of an allowed call. A canceled context says
+// nothing about the source's health and is ignored; any other error
+// counts as a failure (deadline overruns included — a hanging source is
+// a failing source).
+func (b *Breaker) Report(err error) {
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = stateClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case stateHalfOpen:
+		// Failed probe: back to open, restart the cool-down.
+		b.state = stateOpen
+		b.openedAt = b.cfg.Clock()
+		b.probing = false
+	default:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = stateOpen
+			b.openedAt = b.cfg.Clock()
+		}
+	}
+}
+
+// State reports the current state name ("closed", "open", "half-open")
+// for logs and experiments.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

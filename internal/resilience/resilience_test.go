@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var bg = context.Background()
+
+// fastPolicy keeps retries near-instant so tests stay fast.
+func fastPolicy(attempts int) Policy {
+	return Policy{
+		MaxAttempts: attempts,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	}
+}
+
+func TestDoRetriesTransientFailures(t *testing.T) {
+	calls := 0
+	err := fastPolicy(3).Do(bg, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("third attempt should succeed: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoStopsAtMaxAttempts(t *testing.T) {
+	calls := 0
+	err := fastPolicy(3).Do(bg, func(context.Context) error {
+		calls++
+		return errors.New("still broken")
+	})
+	if err == nil || calls != 3 {
+		t.Errorf("err=%v calls=%d, want error after exactly 3 attempts", err, calls)
+	}
+}
+
+type permErr struct{}
+
+func (permErr) Error() string   { return "policy denial" }
+func (permErr) Retryable() bool { return false }
+
+func TestDoHonorsRetryableInterface(t *testing.T) {
+	calls := 0
+	err := fastPolicy(5).Do(bg, func(context.Context) error {
+		calls++
+		return fmt.Errorf("wrapped: %w", permErr{})
+	})
+	if err == nil || calls != 1 {
+		t.Errorf("permanent error must not be retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoNeverRetriesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	calls := 0
+	err := fastPolicy(5).Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Errorf("cancellation must not be retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestAttemptTimeoutAbandonsHangingOp(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseBackoff: time.Millisecond, AttemptTimeout: 20 * time.Millisecond}
+	// Abandoned attempts keep running in their goroutines, so the
+	// counter must be atomic.
+	var calls atomic.Int32
+	start := time.Now()
+	// The op ignores its context entirely — the worst-behaved callee.
+	err := p.Do(bg, func(context.Context) error {
+		calls.Add(1)
+		time.Sleep(500 * time.Millisecond)
+		return nil
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Errorf("both attempts should be abandoned at ~20ms each, took %v", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("calls = %d, want 2 (attempt timeout is retryable)", got)
+	}
+}
+
+func TestOverallTimeoutBoundsRetries(t *testing.T) {
+	p := Policy{MaxAttempts: 100, BaseBackoff: 5 * time.Millisecond, Timeout: 30 * time.Millisecond}
+	start := time.Now()
+	err := p.Do(bg, func(context.Context) error { return errors.New("down") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("overall timeout should cut retries at ~30ms, took %v", elapsed)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, JitterSeed: 7}
+	for retry := 1; retry <= 8; retry++ {
+		a, b := p.Backoff(retry), p.Backoff(retry)
+		if a != b {
+			t.Fatalf("retry %d: backoff not deterministic: %v vs %v", retry, a, b)
+		}
+		if a > time.Second {
+			t.Errorf("retry %d: backoff %v exceeds cap", retry, a)
+		}
+		if a < 50*time.Millisecond {
+			t.Errorf("retry %d: backoff %v below half of base", retry, a)
+		}
+	}
+	// Different seeds give different jitter somewhere in the schedule.
+	q := p
+	q.JitterSeed = 8
+	same := true
+	for retry := 1; retry <= 8; retry++ {
+		if p.Backoff(retry) != q.Backoff(retry) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct seeds produced identical jitter schedules")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, OpenFor: time.Minute, Clock: clock})
+
+	fail := errors.New("down")
+	if b.Allow() != nil {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Report(fail)
+	if b.Allow() != nil {
+		t.Fatal("one failure must not open a threshold-2 breaker")
+	}
+	b.Report(fail)
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker must refuse: %v", err)
+	}
+
+	// Cool-down elapses: exactly one probe is admitted.
+	now = now.Add(2 * time.Minute)
+	if b.Allow() != nil {
+		t.Fatal("half-open must admit one probe")
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent probe must be refused")
+	}
+
+	// Probe fails: back to open, cool-down restarts.
+	b.Report(fail)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("failed probe must re-open")
+	}
+
+	// Next probe succeeds: closed again.
+	now = now.Add(2 * time.Minute)
+	if b.Allow() != nil {
+		t.Fatal("cool-down elapsed again: probe must be admitted")
+	}
+	b.Report(nil)
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed after successful probe", b.State())
+	}
+	if b.Allow() != nil {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+func TestBreakerIgnoresCancellation(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1})
+	b.Report(fmt.Errorf("call: %w", context.Canceled))
+	if b.State() != "closed" {
+		t.Errorf("cancellation is not evidence of source death: state = %s", b.State())
+	}
+}

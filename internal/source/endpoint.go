@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"math/big"
@@ -16,24 +17,30 @@ import (
 // mediation engine of Figure 2(b) needs, whether the source runs
 // in-process or behind HTTP. All payloads are XML nodes, so the two
 // transports are byte-identical in behaviour.
+//
+// Every call takes a context: sources are autonomous and therefore
+// slow, flaky or dead in practice, and the mediator bounds each call
+// with a per-source deadline. Implementations must return promptly once
+// the context is done (internal/resilience additionally abandons
+// implementations that do not).
 type Endpoint interface {
 	// Name identifies the source.
 	Name() string
 	// FetchSummary returns the redacted structural summary (partial
 	// schema).
-	FetchSummary() (*xmltree.Summary, error)
+	FetchSummary(ctx context.Context) (*xmltree.Summary, error)
 	// FetchProfiles returns shareable field profiles for schema matching.
-	FetchProfiles() ([]schemamatch.FieldProfile, error)
+	FetchProfiles(ctx context.Context) ([]schemamatch.FieldProfile, error)
 	// Query executes a PIQL fragment and returns the tagged XML answer.
-	Query(piqlText, requester string) (*xmltree.Node, error)
+	Query(ctx context.Context, piqlText, requester string) (*xmltree.Node, error)
 	// PSIBlinded returns the source's blinded linkage items for a field.
-	PSIBlinded(field string) (*xmltree.Node, error)
+	PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error)
 	// PSIExponentiate raises peer-blinded elements to this source's
 	// secret, preserving order.
-	PSIExponentiate(elems *xmltree.Node) (*xmltree.Node, error)
+	PSIExponentiate(ctx context.Context, elems *xmltree.Node) (*xmltree.Node, error)
 	// LinkageRecords returns Bloom-encoded records for fuzzy matching on
 	// a field.
-	LinkageRecords(field string) ([]linkage.EncodedRecord, error)
+	LinkageRecords(ctx context.Context, field string) ([]linkage.EncodedRecord, error)
 }
 
 // linkageDefaults are the standard Bloom parameters (see internal/linkage).
@@ -73,17 +80,26 @@ func NewLocal(src *Source, linkageSalt []byte, group *psi.Group) (*Local, error)
 func (l *Local) Name() string { return l.Src.Name() }
 
 // FetchSummary implements Endpoint.
-func (l *Local) FetchSummary() (*xmltree.Summary, error) {
+func (l *Local) FetchSummary(ctx context.Context) (*xmltree.Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return l.Src.Summary(), nil
 }
 
 // FetchProfiles implements Endpoint.
-func (l *Local) FetchProfiles() ([]schemamatch.FieldProfile, error) {
+func (l *Local) FetchProfiles(ctx context.Context) ([]schemamatch.FieldProfile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return l.Src.Profiles(), nil
 }
 
 // Query implements Endpoint.
-func (l *Local) Query(piqlText, requester string) (*xmltree.Node, error) {
+func (l *Local) Query(ctx context.Context, piqlText, requester string) (*xmltree.Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	q, err := parsePIQL(piqlText)
 	if err != nil {
 		return nil, err
@@ -119,7 +135,10 @@ func (l *Local) items(field string) (ids, values []string) {
 }
 
 // PSIBlinded implements Endpoint.
-func (l *Local) PSIBlinded(field string) (*xmltree.Node, error) {
+func (l *Local) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := l.psiParty()
 	if err != nil {
 		return nil, err
@@ -129,7 +148,10 @@ func (l *Local) PSIBlinded(field string) (*xmltree.Node, error) {
 }
 
 // PSIExponentiate implements Endpoint.
-func (l *Local) PSIExponentiate(elems *xmltree.Node) (*xmltree.Node, error) {
+func (l *Local) PSIExponentiate(ctx context.Context, elems *xmltree.Node) (*xmltree.Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := l.psiParty()
 	if err != nil {
 		return nil, err
@@ -146,7 +168,10 @@ func (l *Local) PSIExponentiate(elems *xmltree.Node) (*xmltree.Node, error) {
 }
 
 // LinkageRecords implements Endpoint.
-func (l *Local) LinkageRecords(field string) ([]linkage.EncodedRecord, error) {
+func (l *Local) LinkageRecords(ctx context.Context, field string) ([]linkage.EncodedRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	enc, err := linkage.NewEncoder(linkageM, linkageK, linkageQ, l.LinkageSalt)
 	if err != nil {
 		return nil, err
@@ -163,14 +188,14 @@ func (l *Local) LinkageRecords(field string) ([]linkage.EncodedRecord, error) {
 // the initiator side against a responder endpoint. It returns the double-
 // blinded versions of this endpoint's items (order-preserving) and of the
 // responder's items.
-func PSIDoubleBlind(initiator *Local, responder Endpoint, field string) (own, theirs []*big.Int, err error) {
+func PSIDoubleBlind(ctx context.Context, initiator *Local, responder Endpoint, field string) (own, theirs []*big.Int, err error) {
 	p, err := initiator.psiParty()
 	if err != nil {
 		return nil, nil, err
 	}
 	_, vals := initiator.items(field)
 	blindedOwn := psi.MarshalElems(p.Blind(vals))
-	ownDouble, err := responder.PSIExponentiate(blindedOwn)
+	ownDouble, err := responder.PSIExponentiate(ctx, blindedOwn)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,7 +203,7 @@ func PSIDoubleBlind(initiator *Local, responder Endpoint, field string) (own, th
 	if err != nil {
 		return nil, nil, err
 	}
-	theirBlinded, err := responder.PSIBlinded(field)
+	theirBlinded, err := responder.PSIBlinded(ctx, field)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,9 +1,11 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -26,7 +28,9 @@ func parsePIQL(text string) (*piql.Query, error) {
 	return q, nil
 }
 
-// NewHandler exposes a Local endpoint over HTTP.
+// NewHandler exposes a Local endpoint over HTTP. Handlers pass the
+// request context down, so a client that gives up (or a server shutdown
+// drain) cancels the work.
 func NewHandler(l *Local) http.Handler {
 	mux := http.NewServeMux()
 
@@ -42,7 +46,7 @@ func NewHandler(l *Local) http.Handler {
 	}
 
 	mux.HandleFunc("GET /summary", func(w http.ResponseWriter, r *http.Request) {
-		sum, err := l.FetchSummary()
+		sum, err := l.FetchSummary(r.Context())
 		if err != nil {
 			fail(w, http.StatusInternalServerError, err)
 			return
@@ -51,7 +55,7 @@ func NewHandler(l *Local) http.Handler {
 	})
 
 	mux.HandleFunc("GET /profiles", func(w http.ResponseWriter, r *http.Request) {
-		ps, err := l.FetchProfiles()
+		ps, err := l.FetchProfiles(r.Context())
 		if err != nil {
 			fail(w, http.StatusInternalServerError, err)
 			return
@@ -70,7 +74,7 @@ func NewHandler(l *Local) http.Handler {
 			fail(w, http.StatusBadRequest, fmt.Errorf("source: missing X-Requester header"))
 			return
 		}
-		node, err := l.Query(string(body), requester)
+		node, err := l.Query(r.Context(), string(body), requester)
 		if err != nil {
 			// Policy denials and audit refusals are forbidden, not broken.
 			fail(w, http.StatusForbidden, err)
@@ -103,7 +107,7 @@ func NewHandler(l *Local) http.Handler {
 			fail(w, http.StatusBadRequest, fmt.Errorf("source: missing field"))
 			return
 		}
-		node, err := l.PSIBlinded(field)
+		node, err := l.PSIBlinded(r.Context(), field)
 		if err != nil {
 			fail(w, http.StatusInternalServerError, err)
 			return
@@ -117,7 +121,7 @@ func NewHandler(l *Local) http.Handler {
 			fail(w, http.StatusBadRequest, err)
 			return
 		}
-		node, err := l.PSIExponentiate(in)
+		node, err := l.PSIExponentiate(r.Context(), in)
 		if err != nil {
 			fail(w, http.StatusBadRequest, err)
 			return
@@ -131,7 +135,7 @@ func NewHandler(l *Local) http.Handler {
 			fail(w, http.StatusBadRequest, fmt.Errorf("source: missing field"))
 			return
 		}
-		recs, err := l.LinkageRecords(field)
+		recs, err := l.LinkageRecords(r.Context(), field)
 		if err != nil {
 			fail(w, http.StatusInternalServerError, err)
 			return
@@ -146,14 +150,39 @@ func readNode(r io.Reader) (*xmltree.Node, error) {
 	return xmltree.Parse(io.LimitReader(r, 16<<20))
 }
 
+// defaultHTTPClient backs every Client whose HTTP field is nil. It has a
+// generous overall timeout as a last line of defence; per-call deadlines
+// come from the caller's context (the mediator's per-source deadline).
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// HTTPError is a non-200 response from a source node. It implements the
+// optional Retryable interface the resilience layer looks for: server
+// errors and throttling are transient, everything else (policy denials,
+// bad requests) is permanent and must not be retried.
+type HTTPError struct {
+	Source string
+	Status int
+	Msg    string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("source %s: %d %s: %s", e.Source, e.Status, http.StatusText(e.Status), e.Msg)
+}
+
+// Retryable reports whether retrying the call could help.
+func (e *HTTPError) Retryable() bool {
+	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
 // Client is an Endpoint over HTTP.
 type Client struct {
 	// BaseURL is the source node's address, e.g. http://localhost:7101.
 	BaseURL string
 	// SourceName is the remote source's declared name.
 	SourceName string
-	// HTTP is the underlying client; a default with timeouts is used when
-	// nil.
+	// HTTP is the underlying client; a default with a 30s timeout is
+	// used when nil.
 	HTTP *http.Client
 }
 
@@ -162,7 +191,7 @@ func NewClient(baseURL, sourceName string) *Client {
 	return &Client{
 		BaseURL:    strings.TrimRight(baseURL, "/"),
 		SourceName: sourceName,
-		HTTP:       &http.Client{Timeout: 30 * time.Second},
+		HTTP:       defaultHTTPClient,
 	}
 }
 
@@ -173,24 +202,19 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
-func (c *Client) getNode(path string) (*xmltree.Node, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + path)
+func (c *Client) getNode(ctx context.Context, path string) (*xmltree.Node, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, fmt.Errorf("source %s: %w", c.SourceName, err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("source %s: %s: %s", c.SourceName, resp.Status, strings.TrimSpace(string(msg)))
-	}
-	return readNode(resp.Body)
+	return c.do(req)
 }
 
-func (c *Client) postNode(path, contentType string, body string) (*xmltree.Node, error) {
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, strings.NewReader(body))
+func (c *Client) postNode(ctx context.Context, path, contentType string, body string) (*xmltree.Node, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, strings.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -201,19 +225,28 @@ func (c *Client) postNode(path, contentType string, body string) (*xmltree.Node,
 func (c *Client) do(req *http.Request) (*xmltree.Node, error) {
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
+		// Surface a context deadline/cancellation undecorated so the
+		// mediator can classify the denial as a timeout.
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return nil, fmt.Errorf("source %s: %w", c.SourceName, ctxErr)
+		}
 		return nil, fmt.Errorf("source %s: %w", c.SourceName, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("source %s: %s: %s", c.SourceName, resp.Status, strings.TrimSpace(string(msg)))
+		return nil, &HTTPError{
+			Source: c.SourceName,
+			Status: resp.StatusCode,
+			Msg:    strings.TrimSpace(string(msg)),
+		}
 	}
 	return readNode(resp.Body)
 }
 
 // FetchSummary implements Endpoint.
-func (c *Client) FetchSummary() (*xmltree.Summary, error) {
-	n, err := c.getNode("/summary")
+func (c *Client) FetchSummary(ctx context.Context) (*xmltree.Summary, error) {
+	n, err := c.getNode(ctx, "/summary")
 	if err != nil {
 		return nil, err
 	}
@@ -221,8 +254,8 @@ func (c *Client) FetchSummary() (*xmltree.Summary, error) {
 }
 
 // FetchProfiles implements Endpoint.
-func (c *Client) FetchProfiles() ([]schemamatch.FieldProfile, error) {
-	n, err := c.getNode("/profiles")
+func (c *Client) FetchProfiles(ctx context.Context) ([]schemamatch.FieldProfile, error) {
+	n, err := c.getNode(ctx, "/profiles")
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +263,8 @@ func (c *Client) FetchProfiles() ([]schemamatch.FieldProfile, error) {
 }
 
 // Query implements Endpoint.
-func (c *Client) Query(piqlText, requester string) (*xmltree.Node, error) {
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/query", strings.NewReader(piqlText))
+func (c *Client) Query(ctx context.Context, piqlText, requester string) (*xmltree.Node, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/query", strings.NewReader(piqlText))
 	if err != nil {
 		return nil, err
 	}
@@ -241,18 +274,18 @@ func (c *Client) Query(piqlText, requester string) (*xmltree.Node, error) {
 }
 
 // PSIBlinded implements Endpoint.
-func (c *Client) PSIBlinded(field string) (*xmltree.Node, error) {
-	return c.getNode("/psi/blinded?field=" + field)
+func (c *Client) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error) {
+	return c.getNode(ctx, "/psi/blinded?field="+url.QueryEscape(field))
 }
 
 // PSIExponentiate implements Endpoint.
-func (c *Client) PSIExponentiate(elems *xmltree.Node) (*xmltree.Node, error) {
-	return c.postNode("/psi/exponentiate", "application/xml", elems.String())
+func (c *Client) PSIExponentiate(ctx context.Context, elems *xmltree.Node) (*xmltree.Node, error) {
+	return c.postNode(ctx, "/psi/exponentiate", "application/xml", elems.String())
 }
 
 // LinkageRecords implements Endpoint.
-func (c *Client) LinkageRecords(field string) ([]linkage.EncodedRecord, error) {
-	n, err := c.getNode("/linkage/records?field=" + field)
+func (c *Client) LinkageRecords(ctx context.Context, field string) ([]linkage.EncodedRecord, error) {
+	n, err := c.getNode(ctx, "/linkage/records?field="+url.QueryEscape(field))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -16,6 +17,9 @@ import (
 	"privateiye/internal/relational"
 	"privateiye/internal/xmltree"
 )
+
+// bg is the background context for endpoint calls that need no deadline.
+var bg = context.Background()
 
 func hospitalSource(t *testing.T) *Source {
 	t.Helper()
@@ -303,8 +307,8 @@ func TestHTTPEndpointParity(t *testing.T) {
 	client := NewClient(server.URL, "hospitalA")
 
 	// Summary parity.
-	ls, _ := local.FetchSummary()
-	cs, err := client.FetchSummary()
+	ls, _ := local.FetchSummary(bg)
+	cs, err := client.FetchSummary(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,8 +317,8 @@ func TestHTTPEndpointParity(t *testing.T) {
 	}
 
 	// Profiles parity.
-	lp, _ := local.FetchProfiles()
-	cp, err := client.FetchProfiles()
+	lp, _ := local.FetchProfiles(bg)
+	cp, err := client.FetchProfiles(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +328,7 @@ func TestHTTPEndpointParity(t *testing.T) {
 
 	// Query over HTTP.
 	qs := "FOR //patients/row WHERE //age > 40 RETURN //age PURPOSE research MAXLOSS 0.9"
-	node, err := client.Query(qs, "researcher")
+	node, err := client.Query(bg, qs, "researcher")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,19 +336,19 @@ func TestHTTPEndpointParity(t *testing.T) {
 		t.Errorf("answer root = %q", node.Name)
 	}
 	// Denied query maps to an HTTP error.
-	if _, err := client.Query("FOR //patients/row RETURN //id PURPOSE research", "researcher"); err == nil {
+	if _, err := client.Query(bg, "FOR //patients/row RETURN //id PURPOSE research", "researcher"); err == nil {
 		t.Error("denied query should error over HTTP")
 	}
-	if _, err := client.Query("not piql at all", "researcher"); err == nil {
+	if _, err := client.Query(bg, "not piql at all", "researcher"); err == nil {
 		t.Error("bad query text should error")
 	}
 
 	// PSI round trip over HTTP.
-	blinded, err := client.PSIBlinded("sex")
+	blinded, err := client.PSIBlinded(bg, "sex")
 	if err != nil {
 		t.Fatal(err)
 	}
-	doubled, err := client.PSIExponentiate(blinded)
+	doubled, err := client.PSIExponentiate(bg, blinded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +357,7 @@ func TestHTTPEndpointParity(t *testing.T) {
 	}
 
 	// Linkage records over HTTP.
-	recs, err := client.LinkageRecords("sex")
+	recs, err := client.LinkageRecords(bg, "sex")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +386,7 @@ func TestPSIDoubleBlindIntersection(t *testing.T) {
 	}
 	a := mk("A", []string{"alice", "bob", "carol"})
 	b := mk("B", []string{"carol", "dave", "alice"})
-	own, theirs, err := PSIDoubleBlind(a, b, "name")
+	own, theirs, err := PSIDoubleBlind(bg, a, b, "name")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +475,7 @@ func TestPreferencesOverHTTP(t *testing.T) {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	client := NewClient(server.URL, "hospitalA")
-	if _, err := client.Query("FOR //patients/row RETURN //age PURPOSE research MAXLOSS 0.9", "r"); err == nil {
+	if _, err := client.Query(bg, "FOR //patients/row RETURN //age PURPOSE research MAXLOSS 0.9", "r"); err == nil {
 		t.Error("preference registered over HTTP should deny")
 	}
 	// Bad payloads rejected.
@@ -625,16 +629,16 @@ func TestClientErrorPaths(t *testing.T) {
 	if c.Name() != "ghost" {
 		t.Errorf("name = %q", c.Name())
 	}
-	if _, err := c.FetchSummary(); err == nil {
+	if _, err := c.FetchSummary(bg); err == nil {
 		t.Error("dead node should error")
 	}
-	if _, err := c.FetchProfiles(); err == nil {
+	if _, err := c.FetchProfiles(bg); err == nil {
 		t.Error("dead node should error")
 	}
-	if _, err := c.Query("FOR //x RETURN //y", "r"); err == nil {
+	if _, err := c.Query(bg, "FOR //x RETURN //y", "r"); err == nil {
 		t.Error("dead node should error")
 	}
-	if _, err := c.LinkageRecords("name"); err == nil {
+	if _, err := c.LinkageRecords(bg, "name"); err == nil {
 		t.Error("dead node should error")
 	}
 	// nil HTTP falls back to the default client.
