@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-fast test-race test-short cover bench attack experiments examples fmt
+.PHONY: all build vet test test-fast test-race test-short cover bench attack experiments examples fmt fuzz crash
 
 all: build vet test
 
@@ -30,6 +30,18 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short native-fuzzing runs over the two untrusted-input decoders: WAL
+# record decoding and the PIQL parser. Raise FUZZTIME for longer hunts.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/durable/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/piql/
+
+# Crash-injection matrix: every durable-log failpoint under every fsync
+# policy, plus the mediator- and audit-level crash/restart suites.
+crash:
+	$(GO) test -run 'Crash|Restart|Unrecordable|Torn' -v ./internal/durable/ ./internal/mediator/ ./internal/audit/
 
 attack:
 	$(GO) run ./cmd/piye-attack

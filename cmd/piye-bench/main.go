@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E17)")
+	only := flag.String("only", "", "run only the named experiment (E1..E18)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	flag.Parse()
 
@@ -86,6 +86,13 @@ func main() {
 				n = 12
 			}
 			return experiments.E17Resilience(n)
+		})},
+		{"E18", wrap(func() (*experiments.Table, error) {
+			counts := []int{500, 2000, 8000}
+			if *quick {
+				counts = []int{200, 800}
+			}
+			return experiments.E18Durability(counts)
 		})},
 	}
 

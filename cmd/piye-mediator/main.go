@@ -23,10 +23,15 @@ import (
 	"syscall"
 	"time"
 
+	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
 	"privateiye/internal/resilience"
 	"privateiye/internal/source"
 )
+
+// defaultSalt is the published placeholder linkage secret: fine for
+// demos, a linking oracle in production.
+const defaultSalt = "privateiye-default-linking-salt"
 
 type sourceFlags []string
 
@@ -46,12 +51,21 @@ func main() {
 	dedup := flag.String("dedup", "", "result column for fuzzy duplicate elimination")
 	whCap := flag.Int("warehouse", 0, "warehouse capacity (0 = pure virtual querying)")
 	whTTL := flag.Int64("warehouse-ttl", 100, "warehouse freshness in integration rounds")
-	salt := flag.String("salt", "privateiye-default-linking-salt", "shared linkage salt")
+	salt := flag.String("salt", defaultSalt, "shared linkage salt")
 	srcTimeout := flag.Duration("source-timeout", 10*time.Second, "per-source deadline during fan-out (0 = none)")
 	retries := flag.Int("retries", 3, "attempts per source call (1 = no retry)")
 	brkFailures := flag.Int("breaker-failures", 5, "consecutive failures before a source's circuit opens (0 = breaker off)")
 	brkCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit waits before a half-open probe")
+	maxDisc := flag.Float64("max-disclosure", 0, "release-ledger refusal threshold on combined disclosure (0 = default 0.99)")
+	ledgerTol := flag.Float64("ledger-tolerance", 0, "accuracy the ledger assumes of published aggregates (0 = default 0.5)")
+	stateDir := flag.String("state-dir", "", "directory persisting the release ledger and query history across restarts (empty = in-memory only)")
+	fsyncMode := flag.String("fsync", "always", "WAL sync policy with -state-dir: always | interval | never")
+	snapEvery := flag.Int("snapshot-every", 0, "snapshot+compact the state WAL every N appends (0 = default 256)")
 	flag.Parse()
+
+	if *salt == defaultSalt {
+		log.Print("piye-mediator: WARNING: -salt is the published default; anyone can forge or link Bloom-encoded identifiers. Set a deployment-specific secret shared with the sources.")
+	}
 
 	if len(sources) == 0 {
 		log.Fatal("piye-mediator: at least one -source name=url is required")
@@ -70,18 +84,36 @@ func main() {
 			DisableBreaker: *brkFailures == 0,
 		}
 	}
+	var dur *mediator.DurabilityConfig
+	if *stateDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("piye-mediator: %v", err)
+		}
+		dur = &mediator.DurabilityConfig{Dir: *stateDir, Fsync: policy, SnapshotEvery: *snapEvery}
+	} else {
+		log.Print("piye-mediator: WARNING: no -state-dir; the release ledger and query history are in-memory only, and a restart resets the combination controls (restart-amnesia)")
+	}
 	med, err := mediator.New(mediator.Config{
 		Endpoints:         eps,
 		LinkageSalt:       []byte(*salt),
 		DedupColumn:       *dedup,
 		WarehouseCapacity: *whCap,
 		WarehouseTTL:      *whTTL,
+		MaxDisclosure:     *maxDisc,
+		LedgerTolerance:   *ledgerTol,
 		SourceTimeout:     *srcTimeout,
 		Resilience:        res,
+		Durability:        dur,
 	})
 	if err != nil {
 		log.Fatalf("piye-mediator: %v", err)
 	}
+	defer func() {
+		if err := med.Close(); err != nil {
+			log.Printf("piye-mediator: closing state: %v", err)
+		}
+	}()
 	log.Printf("piye-mediator serving %d sources on %s (schema: %d paths)",
 		len(eps), *addr, med.MediatedSchema().Len())
 

@@ -30,6 +30,10 @@ import (
 	"privateiye/internal/source"
 )
 
+// defaultSalt is the published placeholder linkage secret: fine for
+// demos, a linking oracle in production.
+const defaultSalt = "privateiye-default-linking-salt"
+
 func main() {
 	name := flag.String("name", "hospitalA", "source name")
 	addr := flag.String("addr", ":7101", "listen address")
@@ -38,8 +42,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "data generator seed")
 	policyFile := flag.String("policy", "", "privacy policy XML file (default: built-in research policy)")
 	prefFiles := flag.String("preferences", "", "comma-separated data-subject preference XML files")
-	salt := flag.String("salt", "privateiye-default-linking-salt", "shared linkage salt")
+	salt := flag.String("salt", defaultSalt, "shared linkage salt")
 	flag.Parse()
+
+	if *salt == defaultSalt {
+		log.Printf("piye-source %s: WARNING: -salt is the published default; anyone can forge or link Bloom-encoded identifiers. Set a deployment-specific secret shared with the mediator.", *name)
+	}
 
 	cat := relational.NewCatalog()
 	g := clinical.NewGenerator(*seed)

@@ -13,6 +13,7 @@ import (
 	"privateiye/internal/accesscontrol"
 	"privateiye/internal/audit"
 	"privateiye/internal/clinical"
+	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
 	"privateiye/internal/piql"
 	"privateiye/internal/policy"
@@ -161,6 +162,45 @@ type (
 
 // NewAuditLog returns a per-requester auditor registry.
 func NewAuditLog(cfg AuditConfig) (*AuditLog, error) { return audit.NewLog(cfg) }
+
+// --- Durability ------------------------------------------------------------
+
+// DurabilityConfig persists the mediator's release ledger and query
+// history (set it on mediator configurations or use SystemConfig.StateDir);
+// DurableOptions opens a raw WAL+snapshot directory (internal/durable).
+type (
+	DurabilityConfig = mediator.DurabilityConfig
+	DurableOptions   = durable.Options
+	FsyncPolicy      = durable.FsyncPolicy
+)
+
+// WAL fsync policies: every append, a background interval, or never.
+const (
+	FsyncAlways   = durable.FsyncAlways
+	FsyncInterval = durable.FsyncInterval
+	FsyncNever    = durable.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return durable.ParseFsyncPolicy(s) }
+
+// NewPersistentAuditLog is NewAuditLog backed by a durable WAL+snapshot
+// directory: every grant is logged before it is acknowledged and the
+// auditors (answered sets and the linear compromise audit) are rebuilt
+// by replay on startup. Close the log when done.
+func NewPersistentAuditLog(cfg AuditConfig, opts DurableOptions) (*AuditLog, error) {
+	return audit.NewPersistentLog(cfg, opts)
+}
+
+// DurableFailpoints injects deterministic crash sites into a durable log
+// (recovery testing); list the sites with DurableFailpointNames.
+type DurableFailpoints = durable.Failpoints
+
+// NewDurableFailpoints returns an empty crash-injection registry.
+func NewDurableFailpoints() *DurableFailpoints { return durable.NewFailpoints() }
+
+// DurableFailpointNames lists every crash site a durable log exposes.
+func DurableFailpointNames() []string { return durable.Points() }
 
 // --- PSI groups ---------------------------------------------------------------------
 

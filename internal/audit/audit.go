@@ -58,6 +58,9 @@ type Auditor struct {
 	rref    [][]float64 // reduced row echelon form of answered rows
 	refused int
 	granted int
+	// persist, when set by a persistent Log, durably records a granted
+	// set before it takes effect; commits fail closed on persist errors.
+	persist func(set []int) error
 }
 
 // NewAuditor validates the configuration and returns an auditor.
@@ -74,6 +77,10 @@ func NewAuditor(cfg Config) (*Auditor, error) {
 // Check decides whether a sum/avg-style aggregate over the given
 // individual indices may be answered, WITHOUT recording it. A nil return
 // means the query is safe; otherwise the *Refusal explains the rule.
+//
+// Check is advisory only: the decision can be invalidated by a commit
+// that races in between. The query path must use CheckAndCommit, which
+// holds the lock across both steps.
 func (a *Auditor) Check(set []int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -121,9 +128,14 @@ func (a *Auditor) checkLocked(set []int) error {
 	return nil
 }
 
-// Commit records a query as answered. Callers Check first; Commit
-// re-checks and returns the refusal if a racing commit made it unsafe.
-func (a *Auditor) Commit(set []int) error {
+// CheckAndCommit atomically decides and records: the controls run and
+// the set is committed under one lock acquisition, so two concurrent
+// queries for the same requester can never both pass the check before
+// either records — the separately-locked Check-then-Commit idiom left
+// exactly that window. When the auditor is persistent, the grant is
+// durably logged before it takes effect; a persistence failure refuses
+// the query (the disclosure must never outrun its record).
+func (a *Auditor) CheckAndCommit(set []int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.checkLocked(set); err != nil {
@@ -131,9 +143,40 @@ func (a *Auditor) Commit(set []int) error {
 		return err
 	}
 	clean, _ := a.normalize(set)
+	if a.persist != nil {
+		if err := a.persist(clean); err != nil {
+			a.refused++
+			return fmt.Errorf("audit: refusing unrecordable release: %w", err)
+		}
+	}
+	a.commitLocked(clean)
+	return nil
+}
+
+// Commit records a query as answered; it is CheckAndCommit under its
+// historical name, kept for callers that only ever commit.
+func (a *Auditor) Commit(set []int) error { return a.CheckAndCommit(set) }
+
+// commitLocked appends an already-normalized, already-checked set.
+func (a *Auditor) commitLocked(clean []int) {
 	a.sets = append(a.sets, clean)
 	a.addRow(charVector(clean, a.cfg.Population))
 	a.granted++
+}
+
+// restore replays a previously granted set without re-running the
+// controls: it was checked when first answered, and the information is
+// out regardless — refusing to remember it would only disarm the
+// auditor. Range errors still fail: state from a different population
+// cannot be reconstructed meaningfully.
+func (a *Auditor) restore(set []int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	clean, err := a.normalize(set)
+	if err != nil {
+		return err
+	}
+	a.commitLocked(clean)
 	return nil
 }
 
@@ -280,6 +323,8 @@ type Log struct {
 	mu       sync.Mutex
 	cfg      Config
 	auditors map[string]*Auditor
+	// p, when non-nil, durably records every grant (see persist.go).
+	p *persister
 }
 
 // NewLog returns a registry creating auditors with the given config.
@@ -297,6 +342,9 @@ func (l *Log) For(requester string) *Auditor {
 	a, ok := l.auditors[requester]
 	if !ok {
 		a, _ = NewAuditor(l.cfg)
+		if l.p != nil {
+			a.persist = l.p.hook(requester)
+		}
 		l.auditors[requester] = a
 	}
 	return a
@@ -304,10 +352,15 @@ func (l *Log) For(requester string) *Auditor {
 
 // Merge folds the histories of several requesters into one auditor under
 // the merged name — the defence when identities are suspected to collude.
+// The fold itself is not persisted (the constituent grants already are);
+// after a restart the merge must be re-applied.
 func (l *Log) Merge(merged string, requesters ...string) *Auditor {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	m, _ := NewAuditor(l.cfg)
+	if l.p != nil {
+		m.persist = l.p.hook(merged)
+	}
 	for _, r := range requesters {
 		if a, ok := l.auditors[r]; ok {
 			a.mu.Lock()

@@ -1,0 +1,143 @@
+package audit
+
+// This file adds durable persistence to the audit log. Without it the
+// sequence controls are a per-process courtesy: a requester who gets the
+// mediator restarted starts with a blank overlap history and a blank
+// linear system, and the tracker construction the controls exist to stop
+// works again. A persistent Log write-ahead-logs every granted query set
+// and reconstructs each auditor — answered sets and the RREF of the
+// linear compromise audit — by replay on startup.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"privateiye/internal/durable"
+)
+
+// commitRecord is one granted query set in the WAL.
+type commitRecord struct {
+	Requester string `json:"req"`
+	Set       []int  `json:"set"`
+}
+
+// logSnapshot is the full persisted state: every requester's granted
+// sets, in grant order. The RREF is derived state and is rebuilt by
+// replaying the sets — cheaper to recompute than to keep consistent on
+// disk.
+type logSnapshot struct {
+	Sets map[string][][]int `json:"sets"`
+}
+
+// persister owns the durable log and a shadow copy of all granted sets
+// (the snapshot source). It has its own lock so the hook can be called
+// from under an Auditor's lock without ordering against the registry
+// lock.
+type persister struct {
+	mu   sync.Mutex
+	dlog *durable.Log
+	sets map[string][][]int
+}
+
+// NewPersistentLog opens (or recovers) a per-requester auditor registry
+// backed by a durable WAL + snapshot in opts.Dir. Every grant is logged
+// before it is acknowledged; on startup the auditors — answered sets and
+// RREF state — are reconstructed by replay. Corrupt state refuses to
+// open: an auditor that cannot prove its history intact must not admit
+// queries. Close the log when done.
+//
+// Merge is a runtime defence decision, not history: merged auditors are
+// not reconstructed and must be re-merged after a restart.
+func NewPersistentLog(cfg Config, opts durable.Options) (*Log, error) {
+	l, err := NewLog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dl, err := durable.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &persister{dlog: dl, sets: map[string][][]int{}}
+
+	if snap := dl.RecoveredSnapshot(); snap != nil {
+		var s logSnapshot
+		if err := json.Unmarshal(snap, &s); err != nil {
+			dl.Close()
+			return nil, fmt.Errorf("audit: decoding snapshot: %w", err)
+		}
+		for req, sets := range s.Sets {
+			for _, set := range sets {
+				if err := l.restoreGrant(req, set); err != nil {
+					dl.Close()
+					return nil, fmt.Errorf("audit: replaying snapshot for %s: %w", req, err)
+				}
+				p.sets[req] = append(p.sets[req], set)
+			}
+		}
+	}
+	for _, e := range dl.RecoveredEntries() {
+		var rec commitRecord
+		if err := json.Unmarshal(e.Payload, &rec); err != nil {
+			dl.Close()
+			return nil, fmt.Errorf("audit: decoding wal record %d: %w", e.Seq, err)
+		}
+		if err := l.restoreGrant(rec.Requester, rec.Set); err != nil {
+			dl.Close()
+			return nil, fmt.Errorf("audit: replaying wal record %d: %w", e.Seq, err)
+		}
+		p.sets[rec.Requester] = append(p.sets[rec.Requester], rec.Set)
+	}
+
+	// Arm persistence only now: replayed grants must not be re-logged.
+	l.p = p
+	l.mu.Lock()
+	for req, a := range l.auditors {
+		a.persist = p.hook(req)
+	}
+	l.mu.Unlock()
+	return l, nil
+}
+
+// restoreGrant replays one recovered grant into the right auditor.
+func (l *Log) restoreGrant(requester string, set []int) error {
+	return l.For(requester).restore(set)
+}
+
+// Close flushes and closes the backing durable log, if any.
+func (l *Log) Close() error {
+	if l.p == nil {
+		return nil
+	}
+	l.p.mu.Lock()
+	defer l.p.mu.Unlock()
+	return l.p.dlog.Close()
+}
+
+// hook returns the fail-closed persist function for one requester's
+// auditor: append the grant to the WAL and, at the configured cadence,
+// snapshot the full state and compact.
+func (p *persister) hook(requester string) func(set []int) error {
+	return func(set []int) error {
+		rec, err := json.Marshal(commitRecord{Requester: requester, Set: set})
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if _, err := p.dlog.Append(rec); err != nil {
+			return err
+		}
+		p.sets[requester] = append(p.sets[requester], set)
+		if p.dlog.AppendsSinceSnapshot() >= p.dlog.SnapshotEvery() {
+			state, err := json.Marshal(logSnapshot{Sets: p.sets})
+			if err != nil {
+				return err
+			}
+			if err := p.dlog.SaveSnapshot(state); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

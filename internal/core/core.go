@@ -9,8 +9,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
+	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
 	"privateiye/internal/psi"
 	"privateiye/internal/resilience"
@@ -53,6 +55,19 @@ type SystemConfig struct {
 	// Resilience, when non-nil, wraps every endpoint with retry/backoff
 	// and a per-source circuit breaker (see internal/resilience).
 	Resilience *resilience.EndpointConfig
+	// StateDir, when non-empty, persists the mediator's inference-control
+	// state (release ledger + query history) under StateDir/mediator and
+	// replays it on startup, so a restart cannot reset the combination
+	// controls. Empty keeps state in memory.
+	StateDir string
+	// Fsync selects the WAL sync policy when StateDir is set ("",
+	// meaning "always", or one of durable.ParseFsyncPolicy's names).
+	Fsync durable.FsyncPolicy
+	// FsyncInterval applies under the "interval" policy (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery is the snapshot/compaction cadence in WAL appends
+	// (default 256).
+	SnapshotEvery int
 }
 
 // System is a running PRIVATE-IYE deployment.
@@ -95,6 +110,15 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 		sys.eps = append(sys.eps, source.NewClient(r.URL, r.Name))
 	}
+	var dur *mediator.DurabilityConfig
+	if cfg.StateDir != "" {
+		dur = &mediator.DurabilityConfig{
+			Dir:           filepath.Join(cfg.StateDir, "mediator"),
+			Fsync:         cfg.Fsync,
+			FsyncInterval: cfg.FsyncInterval,
+			SnapshotEvery: cfg.SnapshotEvery,
+		}
+	}
 	med, err := mediator.New(mediator.Config{
 		Endpoints:         sys.eps,
 		LinkageSalt:       salt,
@@ -105,6 +129,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		MaxDisclosure:     cfg.MaxDisclosure,
 		SourceTimeout:     cfg.SourceTimeout,
 		Resilience:        cfg.Resilience,
+		Durability:        dur,
 	})
 	if err != nil {
 		return nil, err
@@ -129,6 +154,10 @@ func (s *System) QueryContext(ctx context.Context, piqlText, requester string) (
 // Mediator exposes the mediation engine (privacy control, history,
 // warehouse statistics).
 func (s *System) Mediator() *mediator.Mediator { return s.med }
+
+// Close flushes and closes the mediator's durable state, if configured.
+// A system without a StateDir closes as a no-op.
+func (s *System) Close() error { return s.med.Close() }
 
 // Schema returns the current mediated schema.
 func (s *System) Schema() *xmltree.Summary { return s.med.MediatedSchema() }

@@ -1,0 +1,411 @@
+// Package durable gives the inference-control state a crash-safe home.
+//
+// The release ledger and the audit log are security controls only for as
+// long as they are remembered: a mediator that forgets its disclosure
+// history on restart re-opens the Figure 1 combination attack to anyone
+// patient enough to wait for (or induce) a crash. This package provides
+// the persistence layer beneath them: an append-only write-ahead log of
+// length-prefixed, versioned, CRC32C-checksummed records, plus a
+// point-in-time snapshot installed with the write-temp → fsync → rename →
+// fsync-directory idiom so it is either the old state or the new state,
+// never half of each.
+//
+// Recovery semantics are deliberately asymmetric:
+//
+//   - a torn tail — a record that simply stops at end of file, or whose
+//     checksum fails with nothing valid after it — is what power loss
+//     mid-append legitimately leaves behind; it is silently truncated and
+//     at most the records never acknowledged by Sync are lost;
+//   - an invalid record with valid records after it cannot be produced by
+//     a crash of this writer; it means the file was corrupted in place,
+//     and Open refuses to start rather than serve a disclosure history
+//     with holes in it.
+//
+// Crash-safety is testable: a Failpoints schedule (à la
+// resilience.Chaos) kills the process model at every write, sync and
+// rename step, and the crash-matrix tests reopen the directory after each
+// simulated power loss.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy says when appended records are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs on every append: nothing acknowledged is ever
+	// lost, at the price of one fsync per record.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background tick (Options.FsyncInterval):
+	// a crash loses at most the records of the last interval.
+	FsyncInterval
+	// FsyncNever writes records to the file but never forces them out;
+	// a crash may lose any records since the last snapshot or explicit
+	// Sync. For benchmarks and reconstructible state only.
+	FsyncNever
+)
+
+// String renders the policy as its flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses the -fsync flag spelling.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the state directory; it is created if missing and must be
+	// private to one Log at a time.
+	Dir string
+	// Fsync is the append durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery is a cadence hint for the owning subsystem: how many
+	// appended records to accumulate before snapshotting and compacting.
+	// The Log itself never snapshots — only the owner can render its
+	// state — but carrying the knob here lets one flag set travel from
+	// the command line to every subsystem (default 256).
+	SnapshotEvery int
+	// Failpoints, when non-nil, is the crash-injection schedule.
+	Failpoints *Failpoints
+}
+
+// File names inside the state directory.
+const (
+	walName     = "wal.log"
+	walTmpName  = "wal.tmp"
+	snapName    = "snapshot.dat"
+	snapTmpName = "snapshot.tmp"
+)
+
+// Entry is one recovered WAL record.
+type Entry struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Log is an append-only record log with snapshot-based compaction.
+// Methods are safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // the WAL, positioned at its end
+	dirf     *os.File // directory handle for fsync
+	buf      []byte   // staged appends not yet written to the file
+	seq      uint64   // last assigned sequence number
+	snapSeq  uint64   // sequence covered by the installed snapshot
+	snapshot []byte   // recovered snapshot payload (nil if none)
+	entries  []Entry  // recovered entries with seq > snapSeq
+	walSize  int64    // bytes written to the WAL file
+	snapSize int64
+	appends  int // appends since open or last snapshot
+	deadErr  error
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Open creates or recovers the log in opts.Dir. On return the recovered
+// snapshot and entries are available via RecoveredSnapshot and
+// RecoveredEntries, and the log is ready for appends. Open fails on
+// mid-log or snapshot corruption — a store that cannot prove its history
+// intact must not serve.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("durable: empty state directory")
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 256
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	l := &Log{opts: opts}
+
+	// Leftover temp files are debris from a crash mid-snapshot; the
+	// rename never happened, so they are dead weight.
+	_ = os.Remove(filepath.Join(opts.Dir, snapTmpName))
+	_ = os.Remove(filepath.Join(opts.Dir, walTmpName))
+
+	var err error
+	if l.dirf, err = os.Open(opts.Dir); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if err := l.loadSnapshot(); err != nil {
+		l.dirf.Close()
+		return nil, err
+	}
+	if err := l.recoverWAL(); err != nil {
+		l.dirf.Close()
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.wg.Add(1)
+		go l.syncLoop(l.stop)
+	}
+	return l, nil
+}
+
+// recoverWAL replays the WAL file, truncating a torn tail and refusing
+// mid-log corruption.
+func (l *Log) recoverWAL() error {
+	path := filepath.Join(l.opts.Dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: reading wal: %w", err)
+	}
+	valid := 0        // bytes of data covered by valid records
+	last := uint64(0) // last sequence seen in the WAL
+	for valid < len(data) {
+		seq, payload, n, err := DecodeRecord(data[valid:])
+		if err != nil {
+			if err == errBadRecord && hasValidRecordAfter(data[valid+1:]) {
+				return fmt.Errorf("durable: wal %s: corrupt record at offset %d with intact records after it — refusing to serve a history with holes", path, valid)
+			}
+			// Torn tail: everything past the last valid record is what
+			// the crash interrupted. Drop it.
+			break
+		}
+		if last != 0 && seq != last+1 {
+			return fmt.Errorf("durable: wal %s: sequence %d follows %d — refusing non-contiguous history", path, seq, last)
+		}
+		last = seq
+		if seq > l.snapSeq {
+			// Records at or below the snapshot sequence are the
+			// pre-compaction log a crash left behind; the snapshot
+			// already covers them.
+			l.entries = append(l.entries, Entry{Seq: seq, Payload: append([]byte(nil), payload...)})
+		}
+		valid += n
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return fmt.Errorf("durable: truncating torn tail: %w", err)
+		}
+	}
+	l.seq = last
+	if l.seq < l.snapSeq {
+		l.seq = l.snapSeq
+	}
+	l.walSize = int64(valid)
+	l.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: opening wal: %w", err)
+	}
+	return nil
+}
+
+// hasValidRecordAfter scans forward byte by byte for any decodable
+// record — the proof that an invalid record sits mid-log rather than at
+// the tail. Torn tails are short, so the scan is cheap in the common
+// case.
+func hasValidRecordAfter(b []byte) bool {
+	for off := 0; off+recordOverhead <= len(b); off++ {
+		if _, _, _, err := DecodeRecord(b[off:]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoveredSnapshot returns the snapshot payload recovery found, or nil.
+func (l *Log) RecoveredSnapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshot
+}
+
+// RecoveredEntries returns the WAL entries after the snapshot, in order.
+func (l *Log) RecoveredEntries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.entries
+}
+
+// LastSeq returns the last assigned sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// SnapshotEvery returns the configured snapshot cadence hint.
+func (l *Log) SnapshotEvery() int { return l.opts.SnapshotEvery }
+
+// AppendsSinceSnapshot counts records appended since open or the last
+// SaveSnapshot — the owner's trigger for compaction.
+func (l *Log) AppendsSinceSnapshot() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// Sizes reports the current WAL and snapshot sizes in bytes (staged but
+// unwritten appends included in the WAL figure).
+func (l *Log) Sizes() (wal, snap int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.walSize + int64(len(l.buf)), l.snapSize
+}
+
+// Append stages one record and applies the fsync policy. Under
+// FsyncAlways the record is durable when Append returns; under the other
+// policies it may ride in memory until the next tick, Sync or snapshot.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.deadErr != nil {
+		return 0, l.deadErr
+	}
+	l.seq++
+	l.buf = AppendRecord(l.buf, l.seq, payload)
+	l.appends++
+	if l.opts.Failpoints.hit(FPAppendBuffer) {
+		// Power loss with the record still in cache: it never existed.
+		l.buf = nil
+		return 0, l.die()
+	}
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.flushLocked(true); err != nil {
+			return 0, err
+		}
+	case FsyncNever:
+		if err := l.flushLocked(false); err != nil {
+			return 0, err
+		}
+	}
+	return l.seq, nil
+}
+
+// Sync forces every staged record to stable storage regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.deadErr != nil {
+		return l.deadErr
+	}
+	return l.flushLocked(true)
+}
+
+// flushLocked writes staged bytes to the WAL file and optionally fsyncs.
+func (l *Log) flushLocked(sync bool) error {
+	if len(l.buf) > 0 {
+		if l.opts.Failpoints.hit(FPAppendWrite) {
+			// Tear the write: a prefix reaches the platter, the rest
+			// never does.
+			torn := l.buf[:len(l.buf)/2]
+			if len(torn) > 0 {
+				n, _ := l.f.Write(torn)
+				l.walSize += int64(n)
+			}
+			l.buf = nil
+			return l.die()
+		}
+		n, err := l.f.Write(l.buf)
+		l.walSize += int64(n)
+		if err != nil {
+			return fmt.Errorf("durable: wal write: %w", err)
+		}
+		l.buf = l.buf[:0]
+	}
+	if l.opts.Failpoints.hit(FPAppendSync) {
+		return l.die()
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("durable: wal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// die marks the log dead after an injected crash; every later call
+// returns ErrCrashed, like syscalls in a process that no longer exists.
+func (l *Log) die() error {
+	l.deadErr = ErrCrashed
+	return ErrCrashed
+}
+
+// syncLoop is the FsyncInterval background ticker.
+func (l *Log) syncLoop(stop <-chan struct{}) {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.deadErr == nil {
+				_ = l.flushLocked(true)
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes, syncs and releases the log. A closed log rejects
+// further appends.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.stop != nil {
+		close(l.stop)
+		l.stop = nil
+		l.mu.Unlock()
+		l.wg.Wait()
+		l.mu.Lock()
+	}
+	var err error
+	if l.deadErr == nil {
+		err = l.flushLocked(true)
+		l.deadErr = fmt.Errorf("durable: log closed")
+	}
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	if l.dirf != nil {
+		if cerr := l.dirf.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		l.dirf = nil
+	}
+	l.mu.Unlock()
+	return err
+}

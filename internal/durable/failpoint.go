@@ -1,0 +1,107 @@
+package durable
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation after an armed failpoint
+// fires: the Log behaves as if the process hosting it lost power at that
+// step. Recovery is exercised by opening a fresh Log over the same
+// directory.
+var ErrCrashed = errors.New("durable: crash injected at failpoint")
+
+// Failpoint names, one per step of the write path where a real power
+// loss could land. Arm one of these in a test to kill the process model
+// exactly there.
+const (
+	// FPAppendBuffer fires after a record is staged in memory but before
+	// any byte reaches the file — the record is lost entirely, like an
+	// unsynced OS cache on power loss.
+	FPAppendBuffer = "append.buffer"
+	// FPAppendWrite fires mid-write: only a prefix of the staged bytes
+	// reaches the file, leaving a torn record at the tail.
+	FPAppendWrite = "append.write"
+	// FPAppendSync fires after the write but before fsync returns; the
+	// record is in the file but was never acknowledged durable.
+	FPAppendSync = "append.sync"
+	// FPSnapWrite fires mid-write of the temp snapshot file.
+	FPSnapWrite = "snapshot.write"
+	// FPSnapSync fires before the temp snapshot is fsynced.
+	FPSnapSync = "snapshot.sync"
+	// FPSnapRename fires after the temp snapshot is durable but before
+	// the atomic rename installs it.
+	FPSnapRename = "snapshot.rename"
+	// FPSnapDirSync fires after the rename but before the directory
+	// entry is fsynced.
+	FPSnapDirSync = "snapshot.dirsync"
+	// FPCompactRotate fires after the snapshot is installed but before
+	// the WAL is rotated to empty.
+	FPCompactRotate = "compact.rotate"
+	// FPCompactDirSync fires after the WAL rotation rename but before
+	// the directory fsync.
+	FPCompactDirSync = "compact.dirsync"
+)
+
+// Points lists every failpoint, in write-path order — the crash-matrix
+// tests iterate it so a newly added point cannot be forgotten.
+func Points() []string {
+	return []string{
+		FPAppendBuffer, FPAppendWrite, FPAppendSync,
+		FPSnapWrite, FPSnapSync, FPSnapRename, FPSnapDirSync,
+		FPCompactRotate, FPCompactDirSync,
+	}
+}
+
+// Failpoints is a deterministic crash schedule in the spirit of
+// resilience.Chaos: tests arm a named point (optionally on its nth hit)
+// and the Log dies there with ErrCrashed, leaving the directory exactly
+// as a power loss at that step would.
+type Failpoints struct {
+	mu      sync.Mutex
+	armed   map[string]int // point -> remaining hits before it fires
+	tripped []string
+}
+
+// NewFailpoints returns an empty (never-firing) schedule.
+func NewFailpoints() *Failpoints { return &Failpoints{armed: map[string]int{}} }
+
+// Arm schedules the named point to fire on its next hit.
+func (f *Failpoints) Arm(point string) { f.ArmAt(point, 1) }
+
+// ArmAt schedules the named point to fire on its nth hit (1-based).
+func (f *Failpoints) ArmAt(point string, n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed[point] = n
+}
+
+// Tripped returns the points that have fired, in order.
+func (f *Failpoints) Tripped() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.tripped...)
+}
+
+// hit reports whether the point fires now; nil receivers never fire.
+func (f *Failpoints) hit(point string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.armed[point]
+	if !ok {
+		return false
+	}
+	if n > 1 {
+		f.armed[point] = n - 1
+		return false
+	}
+	delete(f.armed, point)
+	f.tripped = append(f.tripped, point)
+	return true
+}

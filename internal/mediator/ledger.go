@@ -40,6 +40,10 @@ type ledgerRelease struct {
 type releaseLedger struct {
 	mu          sync.Mutex
 	byRequester map[string][]ledgerRelease
+	// persist, when set (see persist.go), durably records a release before
+	// it is remembered; recording fails closed. Without it the ledger is
+	// process-local and a restart grants every requester a blank history.
+	persist func(requester string, rel ledgerRelease) error
 }
 
 func newReleaseLedger() *releaseLedger {
@@ -157,8 +161,26 @@ func (l *releaseLedger) checkAndRecord(requester string, rel ledgerRelease, thre
 				rel.valueCol, prior.axis, rel.valueCol, 100*d, 100*threshold)
 		}
 	}
+	// Durable-before-visible: once the statistics leave the mediator they
+	// cannot be recalled, so a release the ledger cannot record must not
+	// be released at all.
+	if l.persist != nil {
+		if err := l.persist(requester, rel); err != nil {
+			return fmt.Errorf("mediator: refusing unrecordable release: %w", err)
+		}
+	}
 	l.byRequester[requester] = append(l.byRequester[requester], rel)
 	return nil
+}
+
+// restore re-adds a recovered release without re-running the combination
+// check or re-persisting: the statistics were already released, and an
+// auditor that forgets them is exactly the failure persistence exists to
+// prevent.
+func (l *releaseLedger) restore(requester string, rel ledgerRelease) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byRequester[requester] = append(l.byRequester[requester], rel)
 }
 
 // combinedDisclosure mounts the outsider attack on the pair of releases:

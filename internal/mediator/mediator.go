@@ -62,6 +62,10 @@ type Config struct {
 	// per-source circuit breaker that skips known-dead sources instead
 	// of re-dialing them on every query.
 	Resilience *resilience.EndpointConfig
+	// Durability, when non-nil, persists the release ledger and query
+	// history to disk and replays them on startup, defeating the
+	// restart-amnesia attack on the combination controls (see persist.go).
+	Durability *DurabilityConfig
 }
 
 // Mediator is a running mediation engine.
@@ -77,6 +81,10 @@ type Mediator struct {
 	history         []HistoryEntry
 	ledger          *releaseLedger
 	correspondences []Correspondence
+
+	// persist is set once in New when Config.Durability is given; nil
+	// means process-local state (see persist.go).
+	persist *statePersister
 }
 
 // HistoryEntry is one integration round in the Query History store.
@@ -128,7 +136,15 @@ func New(cfg Config) (*Mediator, error) {
 		}
 		m.wh = wh
 	}
+	if cfg.Durability != nil {
+		// Recover persisted ledger + history before serving any query:
+		// the first answer must already see the full release history.
+		if err := m.openDurable(*cfg.Durability); err != nil {
+			return nil, err
+		}
+	}
 	if err := m.RefreshSchema(); err != nil {
+		m.Close()
 		return nil, err
 	}
 	return m, nil
@@ -278,6 +294,7 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	if m.wh != nil {
 		if res, ok := m.wh.Get(whKey); ok {
 			m.record(HistoryEntry{Requester: requester, Query: canonical, Sources: []string{"warehouse"}})
+			m.maybeSnapshot()
 			return &Integrated{Result: res, FromWarehouse: true, Answered: []string{"warehouse"}}, nil
 		}
 	}
@@ -393,6 +410,7 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 		Sources:   out.Answered,
 		Denied:    sortedKeys(out.Denied),
 	})
+	m.maybeSnapshot()
 	return out, nil
 }
 
@@ -570,6 +588,9 @@ func (m *Mediator) record(e HistoryEntry) {
 		e.Clock = m.wh.Now()
 	}
 	m.history = append(m.history, e)
+	if m.persist != nil {
+		m.persist.persistHistory(e)
+	}
 }
 
 // WarehouseStats exposes hybrid-mode statistics (zeroes when disabled).

@@ -1,0 +1,224 @@
+package mediator
+
+// This file makes the mediator's inference-control state survive
+// restarts. The release ledger (ledger.go) and the Query History store
+// are the second-level privacy controls of Figure 2(b): they only work
+// if they remember. An in-memory ledger invites the restart-amnesia
+// attack — obtain the Figure 1(a) sigma release, induce a mediator
+// restart, obtain the Figure 1(b) means from the fresh process, and
+// combine the two offline. With durability configured, every ledgered
+// release is write-ahead-logged before the answer leaves the mediator
+// (fail-closed), history entries are logged best-effort, and startup
+// replays snapshot + WAL so a restarted mediator refuses exactly what
+// the unrestarted one would have.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"privateiye/internal/durable"
+)
+
+// DurabilityConfig enables crash-safe persistence of the release ledger
+// and query history under Dir. Zero values take the durable package
+// defaults (FsyncAlways, 100ms interval, snapshot every 256 appends).
+type DurabilityConfig struct {
+	// Dir is the state directory (created if missing).
+	Dir string
+	// Fsync selects the sync policy for WAL appends.
+	Fsync durable.FsyncPolicy
+	// FsyncInterval applies under FsyncInterval policy.
+	FsyncInterval time.Duration
+	// SnapshotEvery is the compaction cadence in WAL appends.
+	SnapshotEvery int
+	// Failpoints injects crash sites for recovery testing.
+	Failpoints *durable.Failpoints
+}
+
+const (
+	kindRelease = "release"
+	kindHistory = "history"
+)
+
+// wireRelease is the JSON shape of one ledgered release.
+type wireRelease struct {
+	Target   string             `json:"t"`
+	ValueCol string             `json:"v"`
+	Axis     string             `json:"a"`
+	Means    map[string]float64 `json:"m"`
+	Sigmas   map[string]float64 `json:"s,omitempty"`
+}
+
+func toWire(rel ledgerRelease) wireRelease {
+	return wireRelease{
+		Target:   rel.target,
+		ValueCol: rel.valueCol,
+		Axis:     rel.axis,
+		Means:    rel.means,
+		Sigmas:   rel.sigmas,
+	}
+}
+
+func fromWire(w wireRelease) ledgerRelease {
+	return ledgerRelease{
+		target:   w.Target,
+		valueCol: w.ValueCol,
+		axis:     w.Axis,
+		means:    w.Means,
+		sigmas:   w.Sigmas,
+	}
+}
+
+// walRecord is one WAL entry: a ledgered release or a history entry.
+type walRecord struct {
+	Kind      string        `json:"k"`
+	Requester string        `json:"req,omitempty"`
+	Release   *wireRelease  `json:"rel,omitempty"`
+	History   *HistoryEntry `json:"h,omitempty"`
+}
+
+// stateSnapshot is the full persisted state at a compaction point.
+type stateSnapshot struct {
+	Releases map[string][]wireRelease `json:"releases"`
+	History  []HistoryEntry           `json:"history"`
+}
+
+// statePersister owns the durable log beneath one mediator.
+type statePersister struct {
+	dlog *durable.Log
+	mu   sync.Mutex // guards inSnapshot
+	// inSnapshot keeps concurrent queries from stampeding SaveSnapshot.
+	inSnapshot bool
+}
+
+// openDurable opens (or recovers) the state directory, replays the
+// recovered snapshot and WAL into the ledger and history, and only then
+// arms the persist hooks so replayed state is not re-logged. Corrupt
+// state refuses to open: a mediator that cannot prove its release
+// history intact must not grant releases against it.
+func (m *Mediator) openDurable(cfg DurabilityConfig) error {
+	dl, err := durable.Open(durable.Options{
+		Dir:           cfg.Dir,
+		Fsync:         cfg.Fsync,
+		FsyncInterval: cfg.FsyncInterval,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Failpoints:    cfg.Failpoints,
+	})
+	if err != nil {
+		return fmt.Errorf("mediator: opening state dir: %w", err)
+	}
+	if snap := dl.RecoveredSnapshot(); snap != nil {
+		var s stateSnapshot
+		if err := json.Unmarshal(snap, &s); err != nil {
+			dl.Close()
+			return fmt.Errorf("mediator: decoding state snapshot: %w", err)
+		}
+		for req, rels := range s.Releases {
+			for _, w := range rels {
+				m.ledger.restore(req, fromWire(w))
+			}
+		}
+		m.history = append(m.history, s.History...)
+	}
+	for _, e := range dl.RecoveredEntries() {
+		var rec walRecord
+		if err := json.Unmarshal(e.Payload, &rec); err != nil {
+			dl.Close()
+			return fmt.Errorf("mediator: decoding wal record %d: %w", e.Seq, err)
+		}
+		switch {
+		case rec.Kind == kindRelease && rec.Release != nil:
+			m.ledger.restore(rec.Requester, fromWire(*rec.Release))
+		case rec.Kind == kindHistory && rec.History != nil:
+			m.history = append(m.history, *rec.History)
+		default:
+			dl.Close()
+			return fmt.Errorf("mediator: malformed wal record %d (kind %q)", e.Seq, rec.Kind)
+		}
+	}
+	p := &statePersister{dlog: dl}
+	m.persist = p
+	m.ledger.persist = p.persistRelease
+	return nil
+}
+
+// persistRelease is the ledger's fail-closed hook: called (under the
+// ledger lock) before a release becomes visible.
+func (p *statePersister) persistRelease(requester string, rel ledgerRelease) error {
+	w := toWire(rel)
+	b, err := json.Marshal(walRecord{Kind: kindRelease, Requester: requester, Release: &w})
+	if err != nil {
+		return err
+	}
+	_, err = p.dlog.Append(b)
+	return err
+}
+
+// persistHistory logs a history entry best-effort: history is
+// observability, and by the time record runs the answer is already out —
+// refusing it retroactively is not possible, so a write failure here
+// must not fail the query.
+func (p *statePersister) persistHistory(e HistoryEntry) {
+	b, err := json.Marshal(walRecord{Kind: kindHistory, History: &e})
+	if err != nil {
+		return
+	}
+	_, _ = p.dlog.Append(b)
+}
+
+// maybeSnapshot compacts the WAL when the cadence is reached. The
+// snapshot is built and installed while both the mediator and ledger
+// locks are held: the durable log stamps the snapshot with its current
+// sequence number, so any release appended between building the state
+// and installing it would be marked covered-but-absent and lost on
+// recovery. Snapshots are rare (every SnapshotEvery appends) and the
+// pause is one marshal + fsync + rename.
+func (m *Mediator) maybeSnapshot() {
+	p := m.persist
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.inSnapshot || p.dlog.AppendsSinceSnapshot() < p.dlog.SnapshotEvery() {
+		p.mu.Unlock()
+		return
+	}
+	p.inSnapshot = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.inSnapshot = false
+		p.mu.Unlock()
+	}()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ledger.mu.Lock()
+	defer m.ledger.mu.Unlock()
+	s := stateSnapshot{
+		Releases: map[string][]wireRelease{},
+		History:  append([]HistoryEntry(nil), m.history...),
+	}
+	for req, rels := range m.ledger.byRequester {
+		for _, rel := range rels {
+			s.Releases[req] = append(s.Releases[req], toWire(rel))
+		}
+	}
+	state, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	// Best-effort: a failed compaction leaves a longer WAL, not lost state.
+	_ = p.dlog.SaveSnapshot(state)
+}
+
+// Close flushes and closes the durable state, if configured. The
+// mediator must not be queried afterwards.
+func (m *Mediator) Close() error {
+	if m.persist == nil {
+		return nil
+	}
+	return m.persist.dlog.Close()
+}

@@ -1,0 +1,162 @@
+package mediator
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"privateiye/internal/clinical"
+	"privateiye/internal/durable"
+	"privateiye/internal/policy"
+	"privateiye/internal/preserve"
+	"privateiye/internal/psi"
+	"privateiye/internal/relational"
+	"privateiye/internal/source"
+)
+
+// durableFigure1Mediator is figure1Mediator over a persistent state
+// directory: same Example 1 deployment, but the release ledger and query
+// history survive a Close/New cycle.
+func durableFigure1Mediator(t *testing.T, dur *DurabilityConfig) *Mediator {
+	t.Helper()
+	tab, err := clinical.ComplianceTable("compliance", clinical.HMOs, clinical.Tests, clinical.Figure1GroundTruth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := relational.NewCatalog()
+	if err := cat.Add(tab); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewPolicy("integrator", policy.Deny,
+		policy.Rule{Item: "//compliance//*", Purpose: "research", Form: policy.Aggregate, Effect: policy.Allow, MaxLoss: 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.New(source.Config{Name: "integrator", Catalog: cat, Policy: pol, Registry: preserve.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := source.NewLocal(src, salt, psi.TestGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		Endpoints:       []source.Endpoint{ep},
+		MaxDisclosure:   0.9,
+		LedgerTolerance: 0.05,
+		Durability:      dur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The restart-amnesia attack, end to end: a snooper who holds the
+// Figure 1(a) sigma release induces a mediator restart and asks the
+// fresh process for the Figure 1(b) means. With a state directory
+// configured, the restarted mediator must refuse the combination
+// exactly as the unrestarted one would.
+func TestRestartAmnesiaDefeated(t *testing.T) {
+	dir := t.TempDir()
+
+	m := durableFigure1Mediator(t, &DurabilityConfig{Dir: dir})
+	if _, err := m.Query(perTestQuery, "snooper"); err != nil {
+		t.Fatalf("first release (Figure 1a) should pass: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: without durability the same restart forgets the sigma
+	// release and the attack succeeds.
+	amnesiac := figure1Mediator(t, 0.9)
+	if _, err := amnesiac.Query(perHMOQuery, "snooper"); err != nil {
+		t.Fatalf("control: an amnesiac mediator should (wrongly) answer: %v", err)
+	}
+
+	m2 := durableFigure1Mediator(t, &DurabilityConfig{Dir: dir})
+	defer m2.Close()
+	_, err := m2.Query(perHMOQuery, "snooper")
+	if err == nil {
+		t.Fatal("restarted mediator must still refuse the Figure 1 combination")
+	}
+	if !strings.Contains(err.Error(), "combined") {
+		t.Errorf("refusal should explain the combination: %v", err)
+	}
+	// Query history was replayed too.
+	if h := m2.History(); len(h) < 1 || h[0].Requester != "snooper" {
+		t.Errorf("recovered history = %+v, want the pre-restart query first", h)
+	}
+	// A requester with no prior releases is unaffected.
+	if _, err := m2.Query(perHMOQuery, "bystander"); err != nil {
+		t.Errorf("bystander: %v", err)
+	}
+}
+
+// Releases keep being refused correctly across snapshot + compaction
+// cycles: many requesters, small cadence, restart, every sigma-holder
+// still blocked.
+func TestLedgerSurvivesSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	m := durableFigure1Mediator(t, &DurabilityConfig{Dir: dir, SnapshotEvery: 4})
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := m.Query(perTestQuery, fmt.Sprintf("req%d", i)); err != nil {
+			t.Fatalf("req%d: %v", i, err)
+		}
+	}
+	hist := len(m.History())
+	m.Close()
+
+	m2 := durableFigure1Mediator(t, &DurabilityConfig{Dir: dir, SnapshotEvery: 4})
+	defer m2.Close()
+	if got := len(m2.History()); got != hist {
+		t.Errorf("recovered %d history entries, want %d", got, hist)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := m2.Query(perHMOQuery, fmt.Sprintf("req%d", i)); err == nil {
+			t.Errorf("req%d: combination must still be refused after compaction + restart", i)
+		}
+	}
+}
+
+// A release the ledger cannot durably record must be refused, and a
+// crash at any append failpoint must leave the state directory
+// recoverable with the refused release absent or present-but-unserved —
+// never a served-but-forgotten release.
+func TestUnrecordableReleaseRefused(t *testing.T) {
+	for _, point := range []string{durable.FPAppendBuffer, durable.FPAppendWrite, durable.FPAppendSync} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			fp := durable.NewFailpoints()
+			m := durableFigure1Mediator(t, &DurabilityConfig{Dir: dir, Failpoints: fp})
+			fp.Arm(point)
+			_, err := m.Query(perTestQuery, "snooper")
+			if err == nil {
+				t.Fatal("release over a dead log must be refused")
+			}
+			if !strings.Contains(err.Error(), "unrecordable") {
+				t.Errorf("refusal should explain persistence failure: %v", err)
+			}
+			// Fail-closed also in memory: the refused release must not be
+			// remembered as granted, and the dead log refuses everything
+			// that follows.
+			if _, err := m.Query(perHMOQuery, "snooper"); err == nil {
+				t.Error("queries after a persistence crash must keep failing closed")
+			}
+			m.Close()
+
+			// Reboot over the same directory: recovery must succeed. The
+			// crashed release may or may not have reached the disk
+			// (durable-but-unacknowledged), but either way it was never
+			// served, so both remembering and forgetting it are safe.
+			m2 := durableFigure1Mediator(t, &DurabilityConfig{Dir: dir})
+			defer m2.Close()
+			if _, err := m2.Query(perTestQuery, "fresh"); err != nil {
+				t.Errorf("recovered mediator must serve: %v", err)
+			}
+		})
+	}
+}

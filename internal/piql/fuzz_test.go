@@ -1,0 +1,40 @@
+package piql
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the PIQL parser, which sits directly
+// on the untrusted query path of every source and the mediator. Three
+// properties: the parser never panics, every accepted query re-parses
+// from its own String() form, and that canonical form is a fixed point
+// (String of the re-parse is byte-identical).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"FOR //patient WHERE //diagnosis = 'diabetes' RETURN //name, //age PURPOSE research MAXLOSS 0.3",
+		"FOR //patient GROUP BY //diagnosis RETURN COUNT(*) AS n, AVG(//age) AS avg_age, STDDEV(//visits//cost)",
+		"FOR //compliance/row GROUP BY //test RETURN AVG(//rate) AS avg_rate, STDDEV(//rate) AS sd_rate, COUNT(*) AS n PURPOSE research MAXLOSS 0.9",
+		"FOR //x RETURN //y ORDER BY //y DESC LIMIT 10",
+		"FOR //a/b WHERE //c > 40 AND //d = 'x' OR //e < 2 RETURN //f",
+		"FOR //x",
+		"FOR //x RETURN //y MAXLOSS 2",
+		"FOR",
+		"",
+		"FOR //x WHERE //y CONTAINS 'a''b' RETURN //z",
+		"for //x return //y purpose research",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		canonical := q.String()
+		q2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form of accepted query does not re-parse:\n  input: %q\n  canonical: %q\n  error: %v", src, canonical, err)
+		}
+		if again := q2.String(); again != canonical {
+			t.Fatalf("String() is not a fixed point:\n  first:  %q\n  second: %q", canonical, again)
+		}
+	})
+}

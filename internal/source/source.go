@@ -256,11 +256,13 @@ func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
 		return nil, fmt.Errorf("source %s: %w", s.cfg.Name, err)
 	}
 
-	// 4. Sequence auditing for aggregate queries.
+	// 4. Sequence auditing for aggregate queries. The check and the
+	// commit are one atomic step: two concurrent queries for the same
+	// requester must not both pass the check before either records.
 	if s.cfg.Audit != nil && rq.IsAggregate() {
 		set, ok := s.contextIndexSet(rq)
 		if ok && len(set) > 0 {
-			if err := s.cfg.Audit.For(requester).Commit(set); err != nil {
+			if err := s.cfg.Audit.For(requester).CheckAndCommit(set); err != nil {
 				return nil, fmt.Errorf("source %s: %w", s.cfg.Name, err)
 			}
 		}
