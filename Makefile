@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-fast test-race test-short cover bench attack experiments examples fmt fuzz crash
+.PHONY: all build vet test test-fast test-race test-short cover bench bench-quick attack experiments examples fmt fuzz crash
 
 all: build vet test
 
@@ -30,6 +30,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of the hot-path kernels: a smoke check that the
+# benchmarks still build and run, not a measurement.
+bench-quick:
+	$(GO) test -run '^$$' -bench 'PSI|PIQL|Fig1dInference' -benchtime 1x .
 
 # Short native-fuzzing runs over the two untrusted-input decoders: WAL
 # record decoding and the PIQL parser. Raise FUZZTIME for longer hunts.

@@ -72,6 +72,7 @@ func BenchmarkFig1dQuickBounds(b *testing.B) {
 
 func BenchmarkFig1dInference(b *testing.B) {
 	k := fig1Knowledge()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := k.Infer(attack.FastOptions()); err != nil {
 			b.Fatal(err)
@@ -110,6 +111,7 @@ func BenchmarkRewriteVsFilterRewrite(b *testing.B) {
 				Where:  relational.Cmp{Op: relational.Gt, L: relational.ColRef{Name: "age"}, R: relational.Lit{V: relational.Int(80)}},
 				Select: []string{"age"},
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := q.Execute(cat); err != nil {
@@ -124,6 +126,7 @@ func BenchmarkRewriteVsFilterPostFilter(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
 			cat, pol, purposes := e5Fixture(b, n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				all, err := (&relational.Query{From: "p"}).Execute(cat)
@@ -173,6 +176,7 @@ func BenchmarkClusterRoutingExecuteAndAnalyze(b *testing.B) {
 	}
 	doc := relational.TableToXML(tab)
 	q := piql.MustParse("FOR //p/row WHERE //age >= 40 RETURN //name, //zip PURPOSE treatment")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := q.Evaluate(doc, piql.EvalOptions{}); err != nil {
@@ -217,6 +221,7 @@ func BenchmarkKAnonymitySamarati(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			res := e7Fixture(b, 2000)
 			cfg := e7Config(k)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := anonymity.Samarati(res, cfg); err != nil {
@@ -230,6 +235,7 @@ func BenchmarkKAnonymitySamarati(b *testing.B) {
 func BenchmarkKAnonymityDatafly(b *testing.B) {
 	res := e7Fixture(b, 2000)
 	cfg := e7Config(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := anonymity.Datafly(res, cfg); err != nil {
@@ -272,6 +278,7 @@ func BenchmarkPSIIntersect(b *testing.B) {
 				setA = append(setA, fmt.Sprintf("a%d", i))
 				setB = append(setB, fmt.Sprintf("b%d", i))
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := psi.Intersect(pa, pb, setA, setB); err != nil {
@@ -294,6 +301,7 @@ func BenchmarkLinkageMatch(b *testing.B) {
 		left = append(left, enc.EncodeRecord(fmt.Sprintf("L%d", i), name))
 		right = append(right, enc.EncodeRecord(fmt.Sprintf("R%d", i), g.CorruptName(name)))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := linkage.Match(left, right, 0.7); err != nil {
@@ -346,6 +354,7 @@ func e10System(b *testing.B, capacity int) *core.System {
 func BenchmarkHybridWarehouseVirtual(b *testing.B) {
 	sys := e10System(b, 0)
 	const q = "FOR //patients/row WHERE //age > 60 RETURN //age PURPOSE research MAXLOSS 0.9"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Query(q, "r"); err != nil {
@@ -360,6 +369,7 @@ func BenchmarkHybridWarehouseHot(b *testing.B) {
 	if _, err := sys.Query(q, "r"); err != nil { // warm the warehouse
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Query(q, "r"); err != nil {
@@ -424,6 +434,7 @@ func e13System(b *testing.B, nSources int) *core.System {
 func BenchmarkFragmenterRouting(b *testing.B) {
 	sys := e13System(b, 8)
 	const q = "FOR //patients/row WHERE //age > 60 RETURN //age PURPOSE research MAXLOSS 0.9"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Query(q, "r"); err != nil {
@@ -437,6 +448,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 		b.Run(fmt.Sprintf("sources=%d", n), func(b *testing.B) {
 			sys := e13System(b, n)
 			const q = "FOR //patients/row WHERE //age > 50 RETURN //age PURPOSE research MAXLOSS 0.9"
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sys.Query(q, "r"); err != nil {
@@ -498,6 +510,7 @@ func BenchmarkPIQLEvaluate(b *testing.B) {
 	}
 	doc := relational.TableToXML(tab)
 	q := piql.MustParse("FOR //p/row WHERE //age >= 40 GROUP BY //sex RETURN COUNT(*) AS n, AVG(//age) AS a")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := q.Evaluate(doc, piql.EvalOptions{}); err != nil {
@@ -523,6 +536,7 @@ func BenchmarkReleaseLedgerCheck(b *testing.B) {
 		Lo:          0,
 		Hi:          100,
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := k.Infer(attack.FastOptions()); err != nil {
 			b.Fatal(err)
@@ -545,6 +559,7 @@ func BenchmarkPlacementGeneralizeLate(b *testing.B) {
 		}
 		return out
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		small := filter(res)
@@ -566,6 +581,7 @@ func BenchmarkPlacementGeneralizeEarly(b *testing.B) {
 		}
 		return out
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		big, err := gen.Apply(res, nil)

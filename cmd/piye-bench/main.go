@@ -1,6 +1,6 @@
 // Command piye-bench runs the PRIVATE-IYE experiment harness: every table
 // and figure of EXPERIMENTS.md, printed as aligned text tables. E1–E4
-// regenerate the paper's Figure 1; E5–E16 measure the architecture's
+// regenerate the paper's Figure 1; E5–E19 measure the architecture's
 // design choices.
 //
 // Usage:
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E18)")
+	only := flag.String("only", "", "run only the named experiment (E1..E19)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	flag.Parse()
 
@@ -93,6 +93,13 @@ func main() {
 				counts = []int{200, 800}
 			}
 			return experiments.E18Durability(counts)
+		})},
+		{"E19", wrap(func() (*experiments.Table, error) {
+			items, warmQueries := 1000, 20
+			if *quick {
+				items, warmQueries = 200, 5
+			}
+			return experiments.E19Parallelism(items, []int{1, 2, 4, 8}, warmQueries)
 		})},
 	}
 

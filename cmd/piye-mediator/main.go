@@ -61,6 +61,8 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory persisting the release ledger and query history across restarts (empty = in-memory only)")
 	fsyncMode := flag.String("fsync", "always", "WAL sync policy with -state-dir: always | interval | never")
 	snapEvery := flag.Int("snapshot-every", 0, "snapshot+compact the state WAL every N appends (0 = default 256)")
+	workers := flag.Int("workers", 0, "worker pool size for compute kernels (0 = GOMAXPROCS, 1 = serial)")
+	planCache := flag.Int("plan-cache", 256, "parse/plan cache capacity in entries (0 = disabled)")
 	flag.Parse()
 
 	if *salt == defaultSalt {
@@ -105,6 +107,8 @@ func main() {
 		SourceTimeout:     *srcTimeout,
 		Resilience:        res,
 		Durability:        dur,
+		Workers:           *workers,
+		PlanCache:         *planCache,
 	})
 	if err != nil {
 		log.Fatalf("piye-mediator: %v", err)

@@ -43,6 +43,8 @@ func main() {
 	policyFile := flag.String("policy", "", "privacy policy XML file (default: built-in research policy)")
 	prefFiles := flag.String("preferences", "", "comma-separated data-subject preference XML files")
 	salt := flag.String("salt", defaultSalt, "shared linkage salt")
+	workers := flag.Int("workers", 0, "worker pool size for compute kernels (0 = GOMAXPROCS, 1 = serial)")
+	planCache := flag.Int("plan-cache", 256, "parse/plan cache capacity in entries (0 = disabled)")
 	flag.Parse()
 
 	if *salt == defaultSalt {
@@ -79,7 +81,7 @@ func main() {
 		log.Fatalf("piye-source: %v", err)
 	}
 
-	src, err := source.New(source.Config{Name: *name, Catalog: cat, Policy: pol, Seed: *seed})
+	src, err := source.New(source.Config{Name: *name, Catalog: cat, Policy: pol, Seed: *seed, Workers: *workers, PlanCache: *planCache})
 	if err != nil {
 		log.Fatalf("piye-source: %v", err)
 	}

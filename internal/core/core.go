@@ -68,6 +68,15 @@ type SystemConfig struct {
 	// SnapshotEvery is the snapshot/compaction cadence in WAL appends
 	// (default 256).
 	SnapshotEvery int
+	// Workers sizes the worker pools behind the compute kernels — PSI
+	// blinding/exponentiation, Bloom encoding, the ledger's inference
+	// solver — at the mediator and at every in-process source that does
+	// not set its own (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// PlanCache caps the mediator's parse cache and, for every
+	// in-process source that does not set its own, the source's
+	// parse/plan cache (entries; 0 disables caching).
+	PlanCache int
 }
 
 // System is a running PRIVATE-IYE deployment.
@@ -93,6 +102,14 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	sys := &System{}
 	for _, sc := range cfg.Sources {
+		// System-wide performance knobs reach every source that did not
+		// choose its own.
+		if sc.Workers == 0 {
+			sc.Workers = cfg.Workers
+		}
+		if sc.PlanCache == 0 {
+			sc.PlanCache = cfg.PlanCache
+		}
 		src, err := source.New(sc)
 		if err != nil {
 			return nil, fmt.Errorf("core: source %s: %w", sc.Name, err)
@@ -130,6 +147,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		SourceTimeout:     cfg.SourceTimeout,
 		Resilience:        cfg.Resilience,
 		Durability:        dur,
+		Workers:           cfg.Workers,
+		PlanCache:         cfg.PlanCache,
 	})
 	if err != nil {
 		return nil, err

@@ -245,3 +245,32 @@ func TestEvaluateEmpty(t *testing.T) {
 		t.Errorf("empty evaluation: %+v", q)
 	}
 }
+
+func TestEncodeRecordsParallelMatchesSerial(t *testing.T) {
+	enc, err := NewEncoder(1000, 20, 2, []byte("par"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids, vals []string
+	for i := 0; i < 64; i++ {
+		ids = append(ids, fmt.Sprintf("r%d", i))
+		vals = append(vals, fmt.Sprintf("Name Number %d", i*i))
+	}
+	serial, err := enc.EncodeRecords(ids, vals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := enc.EncodeRecords(ids, vals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].ID != par[i].ID || serial[i].Block != par[i].Block ||
+			serial[i].Filter.Hex() != par[i].Filter.Hex() {
+			t.Fatalf("record %d differs between serial and parallel encode", i)
+		}
+	}
+	if _, err := enc.EncodeRecords(ids[:3], vals, 0); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+}

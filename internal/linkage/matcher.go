@@ -1,8 +1,11 @@
 package linkage
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"privateiye/internal/parallel"
 )
 
 // EncodedRecord is the privacy-preserving projection of a record that a
@@ -22,6 +25,20 @@ func (e *Encoder) EncodeRecord(id, field string) EncodedRecord {
 		Block:  BlockKey(e.Salt, field),
 		Filter: e.Encode(field),
 	}
+}
+
+// EncodeRecords encodes a whole field column across the worker pool
+// (workers 0 = GOMAXPROCS, 1 = serial). Each record's q-gram hashing is
+// independent, so output order — and every bit of every filter — is
+// identical to the serial loop. This is the bulk path LinkageRecords
+// uses when a source ships its linkage column.
+func (e *Encoder) EncodeRecords(ids, fields []string, workers int) ([]EncodedRecord, error) {
+	if len(ids) != len(fields) {
+		return nil, fmt.Errorf("linkage: %d ids for %d fields", len(ids), len(fields))
+	}
+	return parallel.Map(context.Background(), len(fields), workers, func(i int) (EncodedRecord, error) {
+		return e.EncodeRecord(ids[i], fields[i]), nil
+	})
 }
 
 // Pair is one cross-source match.

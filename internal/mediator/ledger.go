@@ -40,6 +40,11 @@ type ledgerRelease struct {
 type releaseLedger struct {
 	mu          sync.Mutex
 	byRequester map[string][]ledgerRelease
+	// attackWorkers sizes the worker pool the combination-attack solver
+	// uses (0 = GOMAXPROCS, 1 = serial). The check sits on the answer
+	// path of every ledgered aggregate, so it inherits the mediator's
+	// parallelism setting.
+	attackWorkers int
 	// persist, when set (see persist.go), durably records a release before
 	// it is remembered; recording fails closed. Without it the ledger is
 	// process-local and a restart grants every requester a blank history.
@@ -149,7 +154,7 @@ func (l *releaseLedger) checkAndRecord(requester string, rel ledgerRelease, thre
 		if attrRel.sigmas == nil {
 			continue // neither released sigmas: means alone do not close the system
 		}
-		d, err := combinedDisclosure(attrRel, partyRel, tolerance)
+		d, err := combinedDisclosure(attrRel, partyRel, tolerance, l.attackWorkers)
 		if err != nil {
 			// Inconsistent as one matrix (e.g. the releases cover
 			// different populations): no combination attack applies.
@@ -185,7 +190,7 @@ func (l *releaseLedger) restore(requester string, rel ledgerRelease) {
 
 // combinedDisclosure mounts the outsider attack on the pair of releases:
 // attributes from the sigma-bearing release, parties from the other.
-func combinedDisclosure(attrRel, partyRel ledgerRelease, tolerance float64) (float64, error) {
+func combinedDisclosure(attrRel, partyRel ledgerRelease, tolerance float64, workers int) (float64, error) {
 	attrs := sortedKeysF(attrRel.means)
 	parties := sortedKeysF(partyRel.means)
 	k := &attack.Knowledge{
@@ -209,7 +214,9 @@ func combinedDisclosure(attrRel, partyRel ledgerRelease, tolerance float64) (flo
 	if err := k.Validate(); err != nil {
 		return 0, err
 	}
-	inf, err := k.Infer(attack.FastOptions())
+	opt := attack.FastOptions()
+	opt.Workers = workers
+	inf, err := k.Infer(opt)
 	if err != nil {
 		return 0, err
 	}

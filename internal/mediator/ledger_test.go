@@ -45,7 +45,9 @@ func figure1Mediator(t *testing.T, maxDisclosure float64) *Mediator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(Config{Endpoints: []source.Endpoint{ep}, MaxDisclosure: maxDisclosure, LedgerTolerance: 0.05})
+	// PlanCache is on so every ledger test also covers the cached-parse
+	// path: a hit must change nothing about what gets refused.
+	m, err := New(Config{Endpoints: []source.Endpoint{ep}, MaxDisclosure: maxDisclosure, LedgerTolerance: 0.05, PlanCache: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

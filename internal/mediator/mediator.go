@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"privateiye/internal/linkage"
+	"privateiye/internal/parallel"
 	"privateiye/internal/piql"
+	"privateiye/internal/qcache"
 	"privateiye/internal/resilience"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/source"
@@ -66,12 +68,23 @@ type Config struct {
 	// history to disk and replays them on startup, defeating the
 	// restart-amnesia attack on the combination controls (see persist.go).
 	Durability *DurabilityConfig
+	// Workers bounds the mediator's own compute fan-out (Bloom encoding
+	// during dedup, the ledger's simulated inference attack): 0 =
+	// GOMAXPROCS, 1 = serial.
+	Workers int
+	// PlanCache is the capacity (entries) of the PIQL parse cache:
+	// repeated query texts skip parsing and canonicalization. Privacy
+	// controls are NOT cached — routing, per-source policy enforcement,
+	// loss aggregation and the release ledger run on every query, cache
+	// hit or not. 0 disables caching. Invalidated by RefreshSchema.
+	PlanCache int
 }
 
 // Mediator is a running mediation engine.
 type Mediator struct {
 	cfg     Config
 	matcher *schemamatch.Matcher
+	plans   *qcache.Cache // parse cache; nil when disabled
 
 	mu              sync.RWMutex
 	schema          *xmltree.Summary            // mediated schema (merged partial summaries)
@@ -126,9 +139,11 @@ func New(cfg Config) (*Mediator, error) {
 	m := &Mediator{
 		cfg:      cfg,
 		matcher:  schemamatch.NewMatcher(),
+		plans:    qcache.New(cfg.PlanCache),
 		bySource: map[string]*xmltree.Summary{},
 		ledger:   newReleaseLedger(),
 	}
+	m.ledger.attackWorkers = cfg.Workers
 	if cfg.WarehouseCapacity > 0 {
 		wh, err := warehouse.New(cfg.WarehouseCapacity, cfg.WarehouseTTL)
 		if err != nil {
@@ -212,10 +227,14 @@ func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
 	m.vocab = merged.LeafNames()
 	m.correspondences = correspondences
 	// Materialized results may describe data whose source just changed or
-	// disappeared: a schema refresh empties the warehouse.
+	// disappeared: a schema refresh empties the warehouse. The parse
+	// cache goes with it — correspondences feed resolver-expanded
+	// routing, so a cached canonicalization may no longer be how the
+	// refreshed schema would read the same text.
 	if m.wh != nil {
 		m.wh.Invalidate("")
 	}
+	m.plans.Purge()
 	return nil
 }
 
@@ -283,11 +302,10 @@ func (m *Mediator) denialReason(err error) string {
 // (Config.SourceTimeout); the integrator returns whatever answered in
 // time and records stragglers in Denied with a timeout reason.
 func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string) (*Integrated, error) {
-	q, err := piql.Parse(strings.TrimSpace(piqlText))
+	q, canonical, err := m.parseCached(piqlText)
 	if err != nil {
-		return nil, fmt.Errorf("mediator: %w", err)
+		return nil, err
 	}
-	canonical := q.String()
 
 	// Hybrid path: serve from the warehouse when fresh.
 	whKey := requester + "|" + canonical
@@ -412,6 +430,41 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	})
 	m.maybeSnapshot()
 	return out, nil
+}
+
+// parsedQuery is one parse-cache entry: the parsed (immutable) query
+// and its canonical rendering, which everything downstream keys on.
+type parsedQuery struct {
+	q         *piql.Query
+	canonical string
+}
+
+// parseCached resolves PIQL text to a parsed query through the plan
+// cache, keyed by whitespace-normalized text. Parsed queries are never
+// mutated after Parse, so a shared hit is safe across concurrent
+// queries. Only the parse is skipped on a hit — routing, fan-out,
+// privacy control and the release ledger all run per query.
+func (m *Mediator) parseCached(piqlText string) (*piql.Query, string, error) {
+	key := qcache.Normalize(piqlText)
+	if v, ok := m.plans.Get(key); ok {
+		pq := v.(*parsedQuery)
+		return pq.q, pq.canonical, nil
+	}
+	q, err := piql.Parse(strings.TrimSpace(piqlText))
+	if err != nil {
+		return nil, "", fmt.Errorf("mediator: %w", err)
+	}
+	pq := &parsedQuery{q: q, canonical: q.String()}
+	m.plans.Put(key, pq)
+	return pq.q, pq.canonical, nil
+}
+
+// PlanCacheStats exposes the parse/plan cache counters (zeroes when the
+// cache is disabled): lifetime hits and misses plus the current entry
+// count.
+func (m *Mediator) PlanCacheStats() (hits, misses uint64, size int) {
+	h, mi := m.plans.Stats()
+	return h, mi, m.plans.Len()
 }
 
 // route implements the Fragmenter's source selection: a source is
@@ -543,11 +596,20 @@ func (m *Mediator) dedupe(res *piql.Result) (*piql.Result, int, error) {
 		block  string
 		filter *linkage.Bitset
 	}
+	// The Bloom encoding of each row is independent, so it fans out
+	// across the worker pool; the greedy keep/drop scan below stays
+	// serial because each decision depends on every row kept before it.
+	keys, err := parallel.Map(context.Background(), len(out.Rows), m.cfg.Workers, func(i int) (keyed, error) {
+		v := out.Rows[i][col]
+		return keyed{block: linkage.BlockKey(m.cfg.LinkageSalt, v), filter: enc.Encode(v)}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
 	var kept []([]string)
 	var keptKeys []keyed
-	for _, row := range out.Rows {
-		v := row[col]
-		k := keyed{block: linkage.BlockKey(m.cfg.LinkageSalt, v), filter: enc.Encode(v)}
+	for ri, row := range out.Rows {
+		k := keys[ri]
 		dup := false
 		for i := range keptKeys {
 			if keptKeys[i].block != k.block {

@@ -11,10 +11,12 @@
 package nlp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"privateiye/internal/parallel"
 	"privateiye/internal/stats"
 )
 
@@ -66,6 +68,11 @@ type Options struct {
 	Seed       uint64  // PRNG seed for multi-start (default 1)
 	GradStep   float64 // finite-difference step (default 1e-6)
 	InitialTau float64 // initial step length (default 1.0)
+	// Workers bounds the multi-start fan-out: each start is an
+	// independent deterministic descent, so they run concurrently and
+	// merge in start order — results are bit-identical to the serial
+	// path at any width. 0 means GOMAXPROCS; 1 forces serial.
+	Workers int
 }
 
 func (o Options) defaults() Options {
@@ -170,6 +177,13 @@ func Minimize(p *Problem, x0 []float64, opt Options) (*Solution, error) {
 // MultiStart runs Minimize from Starts random points in the box plus the
 // box centre and returns the best feasible solution found (or the least
 // infeasible one if none converged).
+//
+// Starts are generated serially from the seeded PRNG and then descend
+// concurrently (Options.Workers wide): each descent is deterministic
+// given its start point, and the best-of fold walks results in start
+// order, so the returned solution — every bit of it — matches the
+// serial path. Figure 1(d) intervals therefore do not move when the
+// solver goes parallel.
 func MultiStart(p *Problem, opt Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -177,7 +191,6 @@ func MultiStart(p *Problem, opt Options) (*Solution, error) {
 	opt = opt.defaults()
 	rng := stats.NewRand(opt.Seed)
 
-	var best *Solution
 	better := func(a, b *Solution) bool {
 		if b == nil {
 			return true
@@ -205,11 +218,13 @@ func MultiStart(p *Problem, opt Options) (*Solution, error) {
 		starts = append(starts, x)
 	}
 
-	for _, x0 := range starts {
-		sol, err := Minimize(p, x0, opt)
-		if err != nil {
-			return nil, err
-		}
+	sols, err := parallel.Map(context.Background(), len(starts), opt.Workers,
+		func(i int) (*Solution, error) { return Minimize(p, starts[i], opt) })
+	if err != nil {
+		return nil, err
+	}
+	var best *Solution
+	for _, sol := range sols { // deterministic: folded in start order
 		if better(sol, best) {
 			best = sol
 		}

@@ -268,3 +268,45 @@ func TestSumAndSigmaIntervalMatchesAnalytic(t *testing.T) {
 		t.Errorf("interval = [%.3f, %.3f], want [%.3f, %.3f]", iv.Lo, iv.Hi, wantLo, wantHi)
 	}
 }
+
+// The parallel multi-start must return a bit-identical solution to the
+// serial path: starts are drawn serially and merged in start order, so
+// worker count cannot move Figure 1(d) intervals.
+func TestMultiStartParallelBitIdenticalToSerial(t *testing.T) {
+	p := &Problem{
+		Dim:       3,
+		Objective: func(x []float64) float64 { return x[0] },
+		Equalities: []Constraint{
+			func(x []float64) float64 { return x[0] + x[1] + x[2] - 150 },
+		},
+		Inequalities: []Constraint{
+			func(x []float64) float64 { return 40 - x[1] },
+		},
+		Lower: []float64{0, 0, 0},
+		Upper: []float64{100, 100, 100},
+	}
+	base := Options{Starts: 12, Seed: 7}
+
+	serialOpt := base
+	serialOpt.Workers = 1
+	serial, err := MultiStart(p, serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 8} {
+		opt := base
+		opt.Workers = w
+		par, err := MultiStart(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.F != serial.F || par.MaxViolation != serial.MaxViolation || par.Converged != serial.Converged {
+			t.Fatalf("workers=%d: solution header differs: %+v vs %+v", w, par, serial)
+		}
+		for i := range serial.X {
+			if par.X[i] != serial.X[i] {
+				t.Fatalf("workers=%d: X[%d] = %v, serial %v (must be bit-identical)", w, i, par.X[i], serial.X[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package parallel is the shared bounded worker pool under every
+// compute kernel with per-item independent work: PSI blinding and
+// exponentiation (one 2048-bit modexp per item), the NLP solver's
+// multi-starts, and Bloom-filter q-gram encoding for private linkage.
+//
+// The contract is deliberately narrow. ForEach(ctx, n, workers, fn)
+// runs fn(0..n-1) across at most `workers` goroutines and returns when
+// every index has run (or the work was abandoned). Determinism is the
+// caller's: fn(i) writes only to slot i of a pre-sized output, so the
+// result is bit-identical to the serial loop regardless of scheduling.
+// workers <= 0 means GOMAXPROCS; workers == 1 runs inline on the
+// calling goroutine with no pool overhead, which keeps the serial
+// baselines of E19 honest.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 select GOMAXPROCS
+// (the "as fast as the hardware allows" default), anything else is
+// returned unchanged. Kernels call this so a zero-value config works.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// panicError carries a recovered worker panic across the pool boundary
+// so it can be re-raised on the calling goroutine instead of killing
+// the process from inside the pool (or deadlocking the dispatcher).
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (p *panicError) String() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.value, p.stack)
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most `workers`
+// concurrent goroutines (GOMAXPROCS when workers <= 0).
+//
+//   - Output ordering is deterministic by construction: fn receives its
+//     index and must write results only to that index.
+//   - The first error stops the dispatch of further indices and is
+//     returned; indices already running complete.
+//   - Context cancellation stops dispatch likewise and returns ctx.Err().
+//   - A panic inside fn is recovered, the pool drains, and the panic is
+//     re-raised on the caller's goroutine with the worker's stack — a
+//     crashing worker must crash the caller, not deadlock it.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		// Inline serial path: identical semantics, zero pool overhead.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next undispatched index
+		stopped  atomic.Bool  // set on first error/cancel/panic
+		firstErr error
+		firstPan *panicError
+		errOnce  sync.Once
+		panOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	stop := func() { stopped.Store(true) }
+
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				panOnce.Do(func() {
+					firstPan = &panicError{value: v, stack: stack()}
+				})
+				stop()
+			}
+		}()
+		for {
+			if stopped.Load() || ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				stop()
+				return
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	if firstPan != nil {
+		panic(firstPan.String())
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map applies fn to every index of a length-n input and collects the
+// results in order: out[i] = fn(i). It is ForEach plus the pre-sized
+// output slice every kernel otherwise writes by hand.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

@@ -18,6 +18,7 @@
 package psi
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
@@ -25,6 +26,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
+
+	"privateiye/internal/parallel"
 )
 
 // Group is a safe-prime group: p = 2q+1 with q prime. Protocol elements
@@ -96,10 +100,34 @@ func (g *Group) HashToGroup(item string) *big.Int {
 	return v
 }
 
+// byteLen is the fixed encoding width of a group element.
+func (g *Group) byteLen() int { return (g.P.BitLen() + 7) / 8 }
+
+// blindCacheCap bounds the per-party precomputation table. A source's
+// linkage field rarely exceeds this; past it, extra items are simply
+// recomputed rather than growing the table without bound.
+const blindCacheCap = 1 << 16
+
 // Party is one protocol participant holding a secret exponent.
+//
+// Every per-item operation (one modular exponentiation each) fans out
+// over the shared worker pool; SetWorkers tunes the width (0 =
+// GOMAXPROCS, 1 = serial). Output order is always the input order, so
+// the protocol transcript is byte-identical at any width.
 type Party struct {
-	group  *Group
-	secret *big.Int
+	group   *Group
+	secret  *big.Int
+	workers int
+
+	// blinds is the fixed-secret precomputation table: because the
+	// party's exponent never changes, H(item)^secret is a pure function
+	// of the item, so repeated protocol rounds (the mediator re-linking
+	// the same field against several peers, or periodic re-integration)
+	// reuse earlier modexps instead of redoing them. Only the party's
+	// own items are cached — peer-supplied elements change every round
+	// (they carry the peer's fresh blinding) and would never hit.
+	mu     sync.RWMutex
+	blinds map[string]*big.Int
 }
 
 // NewParty draws a fresh secret exponent in [1, q-1] from rng
@@ -117,33 +145,83 @@ func NewParty(g *Group, rng io.Reader) (*Party, error) {
 		return nil, fmt.Errorf("psi: drawing secret: %w", err)
 	}
 	s.Add(s, big.NewInt(1)) // [1, q-1]
-	return &Party{group: g, secret: s}, nil
+	return &Party{group: g, secret: s, blinds: map[string]*big.Int{}}, nil
 }
 
 // Group returns the party's group.
 func (p *Party) Group() *Group { return p.group }
 
+// SetWorkers fixes the fan-out width for this party's kernels: 0 (the
+// default) means GOMAXPROCS, 1 forces the serial path. It returns the
+// party for chaining and must not be called concurrently with protocol
+// operations.
+func (p *Party) SetWorkers(n int) *Party {
+	p.workers = n
+	return p
+}
+
+// cachedBlind returns the precomputed blind for an item, if present.
+func (p *Party) cachedBlind(item string) (*big.Int, bool) {
+	p.mu.RLock()
+	v, ok := p.blinds[item]
+	p.mu.RUnlock()
+	return v, ok
+}
+
+// storeBlinds installs freshly computed blinds, respecting the cap.
+func (p *Party) storeBlinds(items []string, vals []*big.Int) {
+	p.mu.Lock()
+	for i, it := range items {
+		if vals[i] == nil {
+			continue
+		}
+		if len(p.blinds) >= blindCacheCap {
+			break
+		}
+		p.blinds[it] = vals[i]
+	}
+	p.mu.Unlock()
+}
+
 // Blind hashes each item into the group and raises it to the party's
-// secret: the first message of the protocol.
+// secret: the first message of the protocol. Items fan out across the
+// worker pool (one modexp each), and results are memoized in the
+// party's precomputation table — the exponent is fixed for the party's
+// lifetime, so a warm round is pure lookups. Output order matches the
+// input order regardless of worker count.
 func (p *Party) Blind(items []string) []*big.Int {
 	out := make([]*big.Int, len(items))
-	for i, it := range items {
-		out[i] = new(big.Int).Exp(p.group.HashToGroup(it), p.secret, p.group.P)
-	}
+	fresh := make([]*big.Int, len(items)) // only newly computed entries
+	// parallel.ForEach with an always-nil error never fails.
+	_ = parallel.ForEach(context.Background(), len(items), p.workers, func(i int) error {
+		if v, ok := p.cachedBlind(items[i]); ok {
+			out[i] = v
+			return nil
+		}
+		v := new(big.Int).Exp(p.group.HashToGroup(items[i]), p.secret, p.group.P)
+		out[i], fresh[i] = v, v
+		return nil
+	})
+	p.storeBlinds(items, fresh)
 	return out
 }
 
-// Exponentiate raises already-blinded elements (received from the peer) to
-// this party's secret, preserving order: the second message.
+// Exponentiate raises already-blinded elements (received from the peer)
+// to this party's secret, preserving order: the second message. Peer
+// elements are validated and then exponentiated across the worker pool;
+// they are never cached (each round's peer blinding is fresh).
 func (p *Party) Exponentiate(elems []*big.Int) ([]*big.Int, error) {
-	out := make([]*big.Int, len(elems))
+	// Validate serially first: range errors must be deterministic and
+	// reported for the lowest offending index, not whichever worker
+	// happened to reach its element first.
 	for i, e := range elems {
 		if e == nil || e.Sign() <= 0 || e.Cmp(p.group.P) >= 0 {
 			return nil, fmt.Errorf("psi: element %d out of group range", i)
 		}
-		out[i] = new(big.Int).Exp(e, p.secret, p.group.P)
 	}
-	return out, nil
+	return parallel.Map(context.Background(), len(elems), p.workers, func(i int) (*big.Int, error) {
+		return new(big.Int).Exp(elems[i], p.secret, p.group.P), nil
+	})
 }
 
 // Intersect runs the full semi-honest protocol in-process between an
@@ -169,15 +247,24 @@ func Intersect(initiator, responder *Party, itemsA, itemsB []string) ([]int, err
 	if err != nil {
 		return nil, err
 	}
-	inB := make(map[string]bool, len(baDouble))
+	// Key on the fixed-width big-endian encoding: FillBytes into one
+	// reused buffer avoids a per-element allocation-and-strip of
+	// variable-width Bytes() (and is width-uniform, so map hashing never
+	// compares unequal-length keys).
+	w := initiator.group.byteLen()
+	buf := make([]byte, w)
+	inB := make(map[string]struct{}, len(baDouble))
 	for _, e := range baDouble {
-		inB[string(e.Bytes())] = true
+		inB[string(e.FillBytes(buf))] = struct{}{}
 	}
-	var out []int
+	out := make([]int, 0, min(len(abDouble), len(inB)))
 	for i, e := range abDouble {
-		if inB[string(e.Bytes())] {
+		if _, ok := inB[string(e.FillBytes(buf))]; ok {
 			out = append(out, i)
 		}
+	}
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }

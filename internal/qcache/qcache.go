@@ -1,0 +1,162 @@
+// Package qcache is a sharded LRU cache for parse/plan artifacts keyed
+// by normalized PIQL text. The mediator uses it to skip re-parsing a
+// repeated query; a source uses it to skip re-planning (rewrite →
+// cluster match → optimize) for a (requester, query) pair it has
+// already planned.
+//
+// What it deliberately does NOT cache: any privacy decision that must
+// be evaluated per execution. Release-ledger checks, sequence audits
+// and policy-budget enforcement consume state that changes with every
+// answered query, so a cached plan is re-subjected to all of them on
+// every hit — the cache removes pure recomputation, never a control.
+//
+// Sharding keeps the hot path uncontended under mediator fan-out: keys
+// hash (FNV-1a) onto independently locked LRU shards, so concurrent
+// queries for different texts never serialize on one mutex.
+package qcache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const defaultShards = 16
+
+// Cache is a fixed-capacity, sharded LRU map from string keys to
+// immutable values. Values must be treated as read-only by every
+// consumer: a hit returns the same object to concurrent callers.
+type Cache struct {
+	shards   []*shard
+	perShard int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// New returns a cache holding at most capacity entries (rounded up to a
+// multiple of the shard count). Capacity <= 0 returns a nil cache, on
+// which every method is a safe no-op miss — callers can keep one code
+// path whether caching is enabled or not.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + defaultShards - 1) / defaultShards
+	c := &Cache{shards: make([]*shard, defaultShards), perShard: per}
+	for i := range c.shards {
+		c.shards[i] = &shard{items: make(map[string]*list.Element, per), order: list.New()}
+	}
+	return c
+}
+
+// Normalize canonicalizes PIQL text for keying: surrounding space is
+// trimmed and internal runs of whitespace collapse to one space, so
+// reformatting a query cannot defeat the cache. It deliberately does
+// not lowercase: PIQL string literals are case-significant.
+func Normalize(text string) string {
+	return strings.Join(strings.Fields(text), " ")
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	// FNV-1a; inlined to avoid a hash.Hash allocation per lookup.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// Get returns the cached value and whether it was present, updating
+// recency and the hit/miss counters.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the shard's least recently
+// used entry when the shard is full.
+func (c *Cache) Put(key string, val any) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= c.perShard {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.items, oldest.Value.(*entry).key)
+		}
+	}
+	s.items[key] = s.order.PushFront(&entry{key: key, val: val})
+}
+
+// Purge empties the cache (explicit invalidation: schema refresh at the
+// mediator, preference registration at a source). Counters survive so
+// operators can still see lifetime hit rates.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.items = make(map[string]*list.Element, c.perShard)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

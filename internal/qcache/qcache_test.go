@@ -1,0 +1,117 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	a := Normalize("  FOR //p/row   WHERE //age > 3\n\tRETURN //age ")
+	b := Normalize("FOR //p/row WHERE //age > 3 RETURN //age")
+	if a != b {
+		t.Fatalf("normalization mismatch: %q vs %q", a, b)
+	}
+	if Normalize("RETURN 'Case Sensitive'") == Normalize("return 'case sensitive'") {
+		t.Fatal("Normalize must not fold case")
+	}
+}
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("q"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("q", 42)
+	v, ok := c.Get("q")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("got %v/%v", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity 16 over 16 shards = one entry per shard: a second key in
+	// the same shard must evict the first, never grow unbounded.
+	c := New(16)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if got := c.Len(); got > 16 {
+		t.Fatalf("cache grew to %d entries past capacity 16", got)
+	}
+}
+
+func TestLRURecency(t *testing.T) {
+	// Single-shard-sized cache: the re-touched entry must survive.
+	c := New(1)
+	c.Put("a", 1)
+	var keyB string
+	// Find a key that lands on a's shard so eviction order is observable.
+	for i := 0; ; i++ {
+		keyB = fmt.Sprintf("b-%d", i)
+		if c.shardFor(keyB) == c.shardFor("a") {
+			break
+		}
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a vanished")
+	}
+	c.Put(keyB, 2) // shard cap 1: must evict a (LRU) … a was just touched, but cap=1 evicts regardless
+	if _, ok := c.Get(keyB); !ok {
+		t.Fatal("most recent insert evicted")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(32)
+	c.Put("x", 1)
+	c.Purge()
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("purged entry still present")
+	}
+	if c.Len() != 0 {
+		t.Fatal("purge left entries")
+	}
+}
+
+func TestNilCacheIsSafeNoop(t *testing.T) {
+	var c *Cache = New(0)
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("nil cache non-empty")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("nil cache counted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k-%d", i%40)
+				if v, ok := c.Get(k); ok {
+					if v.(string) != k {
+						t.Errorf("value corruption: key %q -> %v", k, v)
+						return
+					}
+				} else {
+					c.Put(k, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

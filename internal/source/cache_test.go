@@ -1,0 +1,99 @@
+package source
+
+import (
+	"testing"
+
+	"privateiye/internal/audit"
+	"privateiye/internal/clinical"
+	"privateiye/internal/piql"
+	"privateiye/internal/policy"
+	"privateiye/internal/relational"
+)
+
+func auditedCachingSource(t *testing.T) *Source {
+	t.Helper()
+	g := clinical.NewGenerator(5)
+	cat := relational.NewCatalog()
+	patients, _ := g.Patients("patients", 50, 2)
+	if err := cat.Add(patients); err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := policy.NewPolicy("s", policy.Allow)
+	log, err := audit.NewLog(audit.Config{Population: 50, MinSetSize: 3, MaxOverlap: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := New(Config{Name: "s", Catalog: cat, Policy: pol, Audit: log, PlanCache: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// The plan cache covers only the pure planning prefix (rewrite, cluster
+// match, optimize); sequence auditing is stateful and must run on every
+// execution. A repeated aggregate whose plan comes straight from the
+// cache is still refused by overlap control.
+func TestPlanCacheHitStillAudited(t *testing.T) {
+	src := auditedCachingSource(t)
+	q := piql.MustParse("FOR //patients/row WHERE //age > 30 RETURN AVG(//age) AS a PURPOSE research")
+	if _, err := src.Execute(q, "snooper"); err != nil {
+		t.Fatalf("first aggregate should pass: %v", err)
+	}
+	h0, _, _ := src.PlanCacheStats()
+	if _, err := src.Execute(q, "snooper"); err == nil {
+		t.Fatal("repeated aggregate should be refused even on a plan-cache hit")
+	}
+	h1, _, _ := src.PlanCacheStats()
+	if h1 <= h0 {
+		t.Fatalf("repeat should be a plan-cache hit: hits %d -> %d", h0, h1)
+	}
+}
+
+// A preference landing at runtime purges the cache, so a previously
+// cached plan cannot outlive the policy state it was computed under.
+func TestPlanCachePurgedOnAddPreference(t *testing.T) {
+	src := auditedCachingSource(t)
+	q := piql.MustParse("FOR //patients/row WHERE //age > 30 RETURN //age PURPOSE research")
+	if _, err := src.Execute(q, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, size := src.PlanCacheStats(); size == 0 {
+		t.Fatal("execution should have populated the plan cache")
+	}
+	pref, err := policy.NewPolicy("subject", policy.Deny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddPreference(pref); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, size := src.PlanCacheStats(); size != 0 {
+		t.Fatalf("AddPreference should purge the plan cache, %d entries remain", size)
+	}
+	// The deny-default preference now refuses what the cached plan allowed.
+	if _, err := src.Execute(q, "alice"); err == nil {
+		t.Fatal("query should be denied after the deny preference lands")
+	}
+}
+
+// Plans are keyed per requester: a hit for one requester must not leak
+// another requester's rewrite outcome.
+func TestPlanCacheKeyedPerRequester(t *testing.T) {
+	src := auditedCachingSource(t)
+	q := piql.MustParse("FOR //patients/row WHERE //age > 30 RETURN AVG(//age) AS a PURPOSE research")
+	if _, err := src.Execute(q, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, _ := src.PlanCacheStats()
+	if _, err := src.Execute(q, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1, _ := src.PlanCacheStats()
+	if h1 != h0 {
+		t.Fatalf("different requester must miss, hits %d -> %d", h0, h1)
+	}
+	if m1 <= m0 {
+		t.Fatalf("different requester should record a miss: misses %d -> %d", m0, m1)
+	}
+}

@@ -100,9 +100,9 @@ func (l *Local) Query(ctx context.Context, piqlText, requester string) (*xmltree
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	q, err := parsePIQL(piqlText)
+	q, err := l.Src.ParseCached(piqlText)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("source: bad query: %w", err)
 	}
 	ans, err := l.Src.Execute(q, requester)
 	if err != nil {
@@ -119,7 +119,7 @@ func (l *Local) psiParty() (*psi.Party, error) {
 		if err != nil {
 			return nil, err
 		}
-		l.party = p
+		l.party = p.SetWorkers(l.Src.cfg.Workers)
 	}
 	return l.party, nil
 }
@@ -177,11 +177,7 @@ func (l *Local) LinkageRecords(ctx context.Context, field string) ([]linkage.Enc
 		return nil, err
 	}
 	ids, vals := l.items(field)
-	out := make([]linkage.EncodedRecord, len(vals))
-	for i := range vals {
-		out[i] = enc.EncodeRecord(ids[i], vals[i])
-	}
-	return out, nil
+	return enc.EncodeRecords(ids, vals, l.Src.cfg.Workers)
 }
 
 // PSIDoubleBlind is a convenience for tests and the mediator: it completes

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"privateiye/internal/linkage"
-	"privateiye/internal/piql"
 	"privateiye/internal/policy"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/xmltree"
@@ -19,14 +18,6 @@ import (
 // The HTTP transport makes a source a standalone node (cmd/piye-source).
 // Every payload is the same XML that flows in-process, so the mediator
 // treats local and remote sources identically.
-
-func parsePIQL(text string) (*piql.Query, error) {
-	q, err := piql.Parse(strings.TrimSpace(text))
-	if err != nil {
-		return nil, fmt.Errorf("source: bad query: %w", err)
-	}
-	return q, nil
-}
 
 // NewHandler exposes a Local endpoint over HTTP. Handlers pass the
 // request context down, so a client that gives up (or a server shutdown
@@ -150,10 +141,34 @@ func readNode(r io.Reader) (*xmltree.Node, error) {
 	return xmltree.Parse(io.LimitReader(r, 16<<20))
 }
 
+// defaultTransport backs every default client. The stock
+// http.DefaultTransport keeps only 2 idle connections per host
+// (DefaultMaxIdleConnsPerHost), so a mediator fanning a query stream out
+// to a handful of source nodes re-dials almost every call; under load
+// that is a three-way handshake (and TLS, when terminated upstream) on
+// the hot path. Raising the per-host idle pool to the mediator's
+// realistic concurrency reuses connections instead.
+var defaultTransport = newTunedTransport()
+
+func newTunedTransport() *http.Transport {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		t = &http.Transport{}
+	}
+	t = t.Clone() // keep proxy/dialer defaults; never mutate the global
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 32
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}
+
 // defaultHTTPClient backs every Client whose HTTP field is nil. It has a
 // generous overall timeout as a last line of defence; per-call deadlines
 // come from the caller's context (the mediator's per-source deadline).
-var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+var defaultHTTPClient = &http.Client{
+	Timeout:   30 * time.Second,
+	Transport: defaultTransport,
+}
 
 // HTTPError is a non-200 response from a source node. It implements the
 // optional Retryable interface the resilience layer looks for: server

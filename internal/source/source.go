@@ -13,6 +13,7 @@ import (
 	"privateiye/internal/piql"
 	"privateiye/internal/policy"
 	"privateiye/internal/preserve"
+	"privateiye/internal/qcache"
 	"privateiye/internal/relational"
 	"privateiye/internal/rewrite"
 	"privateiye/internal/schemamatch"
@@ -47,6 +48,16 @@ type Config struct {
 	Audit *audit.Log
 	// Seed drives the deterministic random stream for perturbation.
 	Seed uint64
+	// Workers bounds the per-item fan-out of this source's compute
+	// kernels (PSI blinding/exponentiation, Bloom-filter linkage
+	// encoding): 0 = GOMAXPROCS, 1 = serial.
+	Workers int
+	// PlanCache is the capacity (entries) of the parse/plan cache:
+	// repeated (requester, query) pairs skip rewriting, cluster matching
+	// and optimization. Privacy enforcement is NOT cached — sequence
+	// auditing, preservation and loss accounting run on every
+	// execution. 0 disables caching.
+	PlanCache int
 }
 
 // Source is a running remote source.
@@ -56,9 +67,21 @@ type Source struct {
 	resolver piql.Resolver
 	rng      *stats.Rand
 	summary  *xmltree.Summary // full (unredacted) structural summary
+	plans    *qcache.Cache    // parse/plan cache; nil when disabled
 
 	mu    sync.RWMutex
 	prefs []*policy.Policy // registered data-subject preferences
+}
+
+// planEntry is a cached planning outcome for one (requester, query)
+// pair: everything Execute computes before it touches per-execution
+// privacy state. The sequence audit, execution, preservation and loss
+// accounting are deliberately outside — they must run every time.
+type planEntry struct {
+	outcome   *rewrite.Outcome
+	breach    preserve.BreachClass
+	technique preserve.Technique
+	plan      *optimizer.Plan
 }
 
 // Answer is a fully processed query response.
@@ -111,6 +134,7 @@ func New(cfg Config) (*Source, error) {
 		cfg:     cfg,
 		matcher: schemamatch.NewMatcher(),
 		rng:     stats.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		plans:   qcache.New(cfg.PlanCache),
 	}
 	s.summary = s.buildSummary()
 	s.resolver = s.matcher.ResolverFor(s.summary.LeafNames())
@@ -128,8 +152,11 @@ func (s *Source) AddPreference(p *policy.Policy) error {
 		return fmt.Errorf("source %s: nil preference", s.cfg.Name)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.prefs = append(s.prefs, p)
+	s.mu.Unlock()
+	// A new preference changes what rewriting may disclose: every cached
+	// plan is stale the moment it lands.
+	s.plans.Purge()
 	return nil
 }
 
@@ -221,8 +248,42 @@ func (s *Source) fieldValues(name string, limit int) []string {
 	return out
 }
 
-// Execute runs the full pipeline of Figure 2(a) on one query fragment.
-func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
+// ParseCached parses PIQL text through the source's plan cache (a
+// direct parse when caching is disabled). The returned query is shared
+// between cache hits and must be treated as immutable — parsed queries
+// are never mutated after Parse, so this is safe by construction.
+func (s *Source) ParseCached(text string) (*piql.Query, error) {
+	key := "parse\x00" + qcache.Normalize(text)
+	if v, ok := s.plans.Get(key); ok {
+		return v.(*piql.Query), nil
+	}
+	q, err := piql.Parse(strings.TrimSpace(text))
+	if err != nil {
+		return nil, err // parse errors are cheap to re-produce; never cached
+	}
+	s.plans.Put(key, q)
+	return q, nil
+}
+
+// PlanCacheStats exposes the parse/plan cache counters (zeroes when
+// caching is disabled).
+func (s *Source) PlanCacheStats() (hits, misses uint64, size int) {
+	h, m := s.plans.Stats()
+	return h, m, s.plans.Len()
+}
+
+// planFor runs the pure planning prefix of the pipeline — rewriting,
+// cluster matching, optimization — through the plan cache. The key
+// includes the requester because rewriting is requester-specific; the
+// cache is purged whenever a preference lands (AddPreference). Planning
+// errors and full denials are recomputed every time: they are rare, and
+// caching only successes keeps the entry type simple.
+func (s *Source) planFor(q *piql.Query, requester string) (*planEntry, error) {
+	key := "plan\x00" + requester + "\x00" + qcache.Normalize(q.String())
+	if v, ok := s.plans.Get(key); ok {
+		return v.(*planEntry), nil
+	}
+
 	// 1. Privacy-preserving query rewriting against policies + ACLs.
 	rw := &rewrite.Rewriter{
 		Policies: append([]*policy.Policy{s.cfg.Policy}, s.Preferences()...),
@@ -256,6 +317,23 @@ func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
 		return nil, fmt.Errorf("source %s: %w", s.cfg.Name, err)
 	}
 
+	entry := &planEntry{outcome: outcome, breach: cl.Breach, technique: technique, plan: plan}
+	s.plans.Put(key, entry)
+	return entry, nil
+}
+
+// Execute runs the full pipeline of Figure 2(a) on one query fragment.
+// The planning prefix (rewrite → cluster match → optimize) may come
+// from the plan cache; everything stateful — sequence auditing,
+// execution, preservation, loss accounting — runs unconditionally.
+func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
+	entry, err := s.planFor(q, requester)
+	if err != nil {
+		return nil, err
+	}
+	outcome, technique := entry.outcome, entry.technique
+	rq := outcome.Query
+
 	// 4. Sequence auditing for aggregate queries. The check and the
 	// commit are one atomic step: two concurrent queries for the same
 	// requester must not both pass the check before either records.
@@ -284,9 +362,9 @@ func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
 	// 7. XML transformation + metadata tagging.
 	ans := &Answer{
 		Result:        preserved,
-		Breach:        cl.Breach,
+		Breach:        entry.breach,
 		Technique:     technique.Name(),
-		Plan:          plan,
+		Plan:          entry.plan,
 		Rewrite:       outcome,
 		EstimatedLoss: estimateLoss(raw, preserved),
 	}
