@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-fast test-race test-short cover bench bench-quick attack experiments examples fmt fuzz crash
+.PHONY: all build vet test test-fast test-race test-short test-integration cover bench bench-quick bench-guard bench-baseline attack experiments examples fmt fuzz crash
 
 all: build vet test
 
@@ -25,6 +25,13 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
+# End-to-end harness: three source HTTP endpoints behind a mediator,
+# driven through the public surfaces only. -count=1 defeats the test
+# cache (the harness exercises real sockets and on-disk WALs) and -race
+# keeps the fan-out paths honest.
+test-integration:
+	$(GO) test -count=1 -race ./internal/e2e/
+
 cover:
 	$(GO) test -cover ./...
 
@@ -35,6 +42,15 @@ bench:
 # benchmarks still build and run, not a measurement.
 bench-quick:
 	$(GO) test -run '^$$' -bench 'PSI|PIQL|Fig1dInference' -benchtime 1x .
+
+# Perf guard: fails when the best of several measurement rounds is more
+# than 10% slower than the committed baseline (bench/baseline.json).
+bench-guard:
+	$(GO) run ./cmd/piye-bench -guard bench/baseline.json
+
+# Re-record the perf-guard baseline on the reference machine.
+bench-baseline:
+	$(GO) run ./cmd/piye-bench -update-baseline bench/baseline.json
 
 # Short native-fuzzing runs over the two untrusted-input decoders: WAL
 # record decoding and the PIQL parser. Raise FUZZTIME for longer hunts.

@@ -1,13 +1,15 @@
 // Command piye-bench runs the PRIVATE-IYE experiment harness: every table
 // and figure of EXPERIMENTS.md, printed as aligned text tables. E1–E4
-// regenerate the paper's Figure 1; E5–E19 measure the architecture's
+// regenerate the paper's Figure 1; E5–E20 measure the architecture's
 // design choices.
 //
 // Usage:
 //
-//	piye-bench            # run everything
-//	piye-bench -only E7   # run one experiment
-//	piye-bench -quick     # smaller workloads
+//	piye-bench                                  # run everything
+//	piye-bench -only E7                         # run one experiment
+//	piye-bench -quick                           # smaller workloads
+//	piye-bench -update-baseline bench/baseline.json   # record perf-guard baseline
+//	piye-bench -guard bench/baseline.json             # fail on >10% regression
 package main
 
 import (
@@ -20,9 +22,41 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E19)")
+	only := flag.String("only", "", "run only the named experiment (E1..E20)")
 	quick := flag.Bool("quick", false, "smaller workloads")
+	guard := flag.String("guard", "", "compare the perf-guard metrics against this baseline JSON and exit 1 on regression")
+	updateBaseline := flag.String("update-baseline", "", "measure the perf-guard metrics and write them to this baseline JSON")
+	guardTol := flag.Float64("guard-tolerance", 0.10, "relative slowdown the guard tolerates before failing")
 	flag.Parse()
+
+	// Rounds must be long enough that scheduler noise averages out: at
+	// ~3µs per cached query, 2000 queries is still only ~6ms per round,
+	// and the guard keeps the best of 7.
+	guardQueries, guardRounds := 2000, 7
+	if *quick {
+		guardQueries, guardRounds = 300, 3
+	}
+	if *updateBaseline != "" {
+		if err := experiments.WriteBaseline(*updateBaseline, guardQueries, guardRounds); err != nil {
+			fmt.Fprintf(os.Stderr, "piye-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("piye-bench: baseline written to %s\n", *updateBaseline)
+		return
+	}
+	if *guard != "" {
+		tab, failed, err := experiments.CheckBaseline(*guard, guardQueries, guardRounds, *guardTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "piye-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "piye-bench: perf regression in %v (> %.0f%% over baseline)\n", failed, *guardTol*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type exp struct {
 		name string
@@ -100,6 +134,13 @@ func main() {
 				items, warmQueries = 200, 5
 			}
 			return experiments.E19Parallelism(items, []int{1, 2, 4, 8}, warmQueries)
+		})},
+		{"E20", wrap(func() (*experiments.Table, error) {
+			queries, rounds := 300, 5
+			if *quick {
+				queries, rounds = 60, 3
+			}
+			return experiments.E20ObsOverhead(queries, rounds)
 		})},
 	}
 

@@ -25,6 +25,7 @@ import (
 
 	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
+	"privateiye/internal/obs"
 	"privateiye/internal/resilience"
 	"privateiye/internal/source"
 )
@@ -63,6 +64,8 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 0, "snapshot+compact the state WAL every N appends (0 = default 256)")
 	workers := flag.Int("workers", 0, "worker pool size for compute kernels (0 = GOMAXPROCS, 1 = serial)")
 	planCache := flag.Int("plan-cache", 256, "parse/plan cache capacity in entries (0 = disabled)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for /metrics, /debug/trace and /debug/pprof (empty = pprof off; /metrics and /debug/trace are always on -addr)")
+	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "finished per-query traces kept for /debug/trace (0 = tracing off)")
 	flag.Parse()
 
 	if *salt == defaultSalt {
@@ -96,6 +99,12 @@ func main() {
 	} else {
 		log.Print("piye-mediator: WARNING: no -state-dir; the release ledger and query history are in-memory only, and a restart resets the combination controls (restart-amnesia)")
 	}
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*traceRing)
+	}
 	med, err := mediator.New(mediator.Config{
 		Endpoints:         eps,
 		LinkageSalt:       []byte(*salt),
@@ -109,6 +118,8 @@ func main() {
 		Durability:        dur,
 		Workers:           *workers,
 		PlanCache:         *planCache,
+		Obs:               reg,
+		Trace:             tracer,
 	})
 	if err != nil {
 		log.Fatalf("piye-mediator: %v", err)
@@ -120,6 +131,20 @@ func main() {
 	}()
 	log.Printf("piye-mediator serving %d sources on %s (schema: %d paths)",
 		len(eps), *addr, med.MediatedSchema().Len())
+
+	if *debugAddr != "" {
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(reg, tracer),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("piye-mediator debug surface (pprof, metrics, traces) on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("piye-mediator: debug server: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"privateiye/internal/clinical"
+	"privateiye/internal/obs"
 	"privateiye/internal/policy"
 	"privateiye/internal/psi"
 	"privateiye/internal/relational"
@@ -45,6 +46,8 @@ func main() {
 	salt := flag.String("salt", defaultSalt, "shared linkage salt")
 	workers := flag.Int("workers", 0, "worker pool size for compute kernels (0 = GOMAXPROCS, 1 = serial)")
 	planCache := flag.Int("plan-cache", 256, "parse/plan cache capacity in entries (0 = disabled)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for /metrics, /debug/trace and /debug/pprof (empty = pprof off; /metrics and /debug/trace are always on -addr)")
+	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "finished per-query traces kept for /debug/trace (0 = tracing off)")
 	flag.Parse()
 
 	if *salt == defaultSalt {
@@ -81,7 +84,13 @@ func main() {
 		log.Fatalf("piye-source: %v", err)
 	}
 
-	src, err := source.New(source.Config{Name: *name, Catalog: cat, Policy: pol, Seed: *seed, Workers: *workers, PlanCache: *planCache})
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*traceRing)
+	}
+	src, err := source.New(source.Config{Name: *name, Catalog: cat, Policy: pol, Seed: *seed, Workers: *workers, PlanCache: *planCache, Obs: reg, Trace: tracer})
 	if err != nil {
 		log.Fatalf("piye-source: %v", err)
 	}
@@ -107,6 +116,19 @@ func main() {
 	}
 
 	log.Printf("piye-source %s serving %s (%s) on %s", *name, *dataset, pol.Owner, *addr)
+	if *debugAddr != "" {
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(reg, tracer),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("piye-source %s debug surface (pprof, metrics, traces) on %s", *name, *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("piye-source: debug server: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           source.NewHandler(local),

@@ -15,10 +15,12 @@ import (
 	"privateiye/internal/clinical"
 	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
+	"privateiye/internal/obs"
 	"privateiye/internal/piql"
 	"privateiye/internal/policy"
 	"privateiye/internal/preserve"
 	"privateiye/internal/psi"
+	"privateiye/internal/refusal"
 	"privateiye/internal/relational"
 	"privateiye/internal/resilience"
 	"privateiye/internal/source"
@@ -278,6 +280,49 @@ var ErrCircuitOpen = resilience.ErrOpen
 
 // ReleaseDecision is the Privacy Control verdict on an aggregate release.
 type ReleaseDecision = mediator.ReleaseDecision
+
+// --- Observability ---------------------------------------------------------
+
+// MetricsRegistry collects counters, gauges and latency histograms from
+// every component it is handed to (SystemConfig.Obs, source and mediator
+// configurations); QueryTracer keeps a ring of finished per-query stage
+// traces. Both are dependency-free and safe for concurrent use.
+type (
+	MetricsRegistry = obs.Registry
+	QueryTracer     = obs.Tracer
+	QueryTrace      = obs.Trace
+	TraceSpan       = obs.Span
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewQueryTracer returns a tracer keeping the last capacity finished
+// traces (capacity <= 0 takes the default ring size).
+func NewQueryTracer(capacity int) *QueryTracer { return obs.NewTracer(capacity) }
+
+// RegisterProcessMetrics adds goroutine, heap and GC gauges to a registry.
+func RegisterProcessMetrics(r *MetricsRegistry) { obs.RegisterProcessMetrics(r) }
+
+// MetricsHandler serves a registry in Prometheus text format;
+// TraceHandler serves the last N finished traces (?last=N) as JSON;
+// DebugHandler combines both with the net/http/pprof suite.
+var (
+	MetricsHandler = obs.MetricsHandler
+	TraceHandler   = obs.TraceHandler
+	DebugHandler   = obs.DebugHandler
+)
+
+// RefusalReason is the normalized vocabulary every refusal is classified
+// into (metric labels, trace outcomes); ClassifyRefusal maps any error
+// from the pipeline onto it.
+type RefusalReason = refusal.Reason
+
+// ClassifyRefusal normalizes a pipeline error to its refusal reason.
+func ClassifyRefusal(err error) RefusalReason { return refusal.Classify(err) }
+
+// RefusalReasons lists the full refusal vocabulary.
+func RefusalReasons() []RefusalReason { return refusal.All() }
 
 // --- Demo data -------------------------------------------------------------------------------
 

@@ -24,6 +24,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"privateiye/internal/refusal"
 )
 
 // Refusal explains why a query was refused; it satisfies error.
@@ -35,6 +37,20 @@ type Refusal struct {
 // Error implements error.
 func (r *Refusal) Error() string {
 	return fmt.Sprintf("audit: refused by %s control: %s", r.Rule, r.Detail)
+}
+
+// RefusalReason implements refusal.Reasoner: each audit rule maps to a
+// stable enum value so refusal counters label by rule, not by message.
+func (r *Refusal) RefusalReason() refusal.Reason {
+	switch r.Rule {
+	case "set-size":
+		return refusal.AuditSetSize
+	case "overlap":
+		return refusal.AuditOverlap
+	case "compromise":
+		return refusal.AuditCompromise
+	}
+	return refusal.Other
 }
 
 // Config parameterizes an Auditor.

@@ -14,6 +14,7 @@ import (
 
 	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
+	"privateiye/internal/obs"
 	"privateiye/internal/psi"
 	"privateiye/internal/resilience"
 	"privateiye/internal/source"
@@ -77,6 +78,14 @@ type SystemConfig struct {
 	// in-process source that does not set its own, the source's
 	// parse/plan cache (entries; 0 disables caching).
 	PlanCache int
+	// Obs, when non-nil, collects metrics from the mediator and every
+	// in-process source into one registry (see internal/obs).
+	Obs *obs.Registry
+	// Trace, when non-nil, records per-query stage traces at the
+	// mediator. In-process sources deliberately do not share it: their
+	// spans already appear as "source" spans on the mediator's traces,
+	// and a shared ring would interleave the two pipelines.
+	Trace *obs.Tracer
 }
 
 // System is a running PRIVATE-IYE deployment.
@@ -109,6 +118,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 		if sc.PlanCache == 0 {
 			sc.PlanCache = cfg.PlanCache
+		}
+		if sc.Obs == nil {
+			sc.Obs = cfg.Obs
 		}
 		src, err := source.New(sc)
 		if err != nil {
@@ -149,6 +161,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Durability:        dur,
 		Workers:           cfg.Workers,
 		PlanCache:         cfg.PlanCache,
+		Obs:               cfg.Obs,
+		Trace:             cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -33,6 +33,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"privateiye/internal/obs"
 )
 
 // FsyncPolicy says when appended records are forced to stable storage.
@@ -95,6 +97,12 @@ type Options struct {
 	SnapshotEvery int
 	// Failpoints, when non-nil, is the crash-injection schedule.
 	Failpoints *Failpoints
+	// Obs, when non-nil, counts WAL appends, fsyncs and bytes written
+	// under the piye_wal_* families, labelled log=ObsScope. Counter
+	// series are resolved from the registry, so a log reopened after a
+	// restart continues the same series.
+	Obs      *obs.Registry
+	ObsScope string
 }
 
 // File names inside the state directory.
@@ -130,6 +138,11 @@ type Log struct {
 	deadErr  error
 	stop     chan struct{}
 	wg       sync.WaitGroup
+
+	// Pre-resolved metric handles; nil (no-op) without Options.Obs.
+	mAppends *obs.Counter
+	mFsyncs  *obs.Counter
+	mBytes   *obs.Counter
 }
 
 // Open creates or recovers the log in opts.Dir. On return the recovered
@@ -151,6 +164,15 @@ func Open(opts Options) (*Log, error) {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
 	l := &Log{opts: opts}
+	if opts.Obs != nil {
+		scope := opts.ObsScope
+		if scope == "" {
+			scope = opts.Dir
+		}
+		l.mAppends = opts.Obs.Counter("piye_wal_appends_total", "log", scope)
+		l.mFsyncs = opts.Obs.Counter("piye_wal_fsyncs_total", "log", scope)
+		l.mBytes = opts.Obs.Counter("piye_wal_bytes_total", "log", scope)
+	}
 
 	// Leftover temp files are debris from a crash mid-snapshot; the
 	// rename never happened, so they are dead weight.
@@ -291,6 +313,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.seq++
 	l.buf = AppendRecord(l.buf, l.seq, payload)
 	l.appends++
+	l.mAppends.Inc()
 	if l.opts.Failpoints.hit(FPAppendBuffer) {
 		// Power loss with the record still in cache: it never existed.
 		l.buf = nil
@@ -336,6 +359,7 @@ func (l *Log) flushLocked(sync bool) error {
 		}
 		n, err := l.f.Write(l.buf)
 		l.walSize += int64(n)
+		l.mBytes.Add(uint64(n))
 		if err != nil {
 			return fmt.Errorf("durable: wal write: %w", err)
 		}
@@ -348,6 +372,7 @@ func (l *Log) flushLocked(sync bool) error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("durable: wal fsync: %w", err)
 		}
+		l.mFsyncs.Inc()
 	}
 	return nil
 }

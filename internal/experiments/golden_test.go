@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"privateiye/internal/clinical"
+)
+
+// goldenFig1d pins the exact intervals the fast-mode attack infers,
+// rounded to one decimal. Fig1d is deterministic (seeded solver, fixed
+// ground truth), so any drift here is a behaviour change in the attack
+// kernel, the solver, or the published-value pipeline — not noise.
+// TestFig1dReproducesPaper bounds the distance to the paper; this test
+// detects regressions far smaller than that tolerance.
+var goldenFig1d = [3][3][2]float64{
+	{{87.2, 88.6}, {59.0, 59.9}, {46.4, 48.0}}, // HMO2
+	{{82.6, 86.7}, {47.9, 52.8}, {44.4, 47.5}}, // HMO3
+	{{82.7, 87.0}, {48.3, 53.4}, {44.4, 47.6}}, // HMO4
+}
+
+func TestFig1dGolden(t *testing.T) {
+	res, err := Fig1d(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 3; h++ {
+		for a := 0; a < 3; a++ {
+			iv := res.Intervals[h][a]
+			got := fmt.Sprintf("[%.1f, %.1f]", iv.Lo, iv.Hi)
+			want := fmt.Sprintf("[%.1f, %.1f]", goldenFig1d[h][a][0], goldenFig1d[h][a][1])
+			if got != want {
+				t.Errorf("interval[%s][%s] = %s, golden %s",
+					clinical.HMOs[h+1], clinical.Tests[a], got, want)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"privateiye/internal/obs"
 	"privateiye/internal/piql"
 	"privateiye/internal/xmltree"
 )
@@ -131,6 +132,10 @@ func NewHandler(m *Mediator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+
+	// /metrics and /debug/trace, when the mediator was built with a
+	// registry or tracer.
+	obs.Attach(mux, m.cfg.Obs, m.cfg.Trace)
 
 	return mux
 }

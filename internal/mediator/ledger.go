@@ -9,7 +9,55 @@ import (
 
 	"privateiye/internal/attack"
 	"privateiye/internal/piql"
+	"privateiye/internal/refusal"
 )
+
+// CombinationRefusal is the ledger's typed refusal: the new release,
+// combined with the requester's earlier releases, would disclose hidden
+// values beyond the threshold. Keeping it typed (instead of a bare
+// formatted string) gives the refusal-reason counters a stable label
+// via refusal.Reasoner.
+type CombinationRefusal struct {
+	// ValueCol is the measured column; PriorAxis the axis of the earlier
+	// release that closes the constraint system.
+	ValueCol  string
+	PriorAxis string
+	// Disclosure is the fraction of the prior range the combination
+	// would pin; Threshold the configured refusal bound.
+	Disclosure float64
+	Threshold  float64
+}
+
+// Error implements error. The wording is wire contract: the restart-
+// amnesia tests and refusal.ClassifyString match on "combined with your
+// earlier".
+func (e *CombinationRefusal) Error() string {
+	return fmt.Sprintf(
+		"mediator: refusing release: combined with your earlier %s-by-%s statistics it would pin hidden %s values to %.1f%% of their prior range (threshold %.1f%%)",
+		e.ValueCol, e.PriorAxis, e.ValueCol, 100*e.Disclosure, 100*e.Threshold)
+}
+
+// RefusalReason implements refusal.Reasoner.
+func (e *CombinationRefusal) RefusalReason() refusal.Reason { return refusal.LedgerCombination }
+
+// UnrecordableRefusal is the fail-closed refusal when the durable store
+// cannot log a disclosure before it is released.
+type UnrecordableRefusal struct {
+	Scope string // "mediator" or "audit"
+	Err   error
+}
+
+// Error implements error; refusal.ClassifyString matches on "refusing
+// unrecordable release".
+func (e *UnrecordableRefusal) Error() string {
+	return fmt.Sprintf("%s: refusing unrecordable release: %v", e.Scope, e.Err)
+}
+
+// Unwrap exposes the underlying storage error.
+func (e *UnrecordableRefusal) Unwrap() error { return e.Err }
+
+// RefusalReason implements refusal.Reasoner.
+func (e *UnrecordableRefusal) RefusalReason() refusal.Reason { return refusal.Unrecordable }
 
 // The release ledger is the mediator's answer to the paper's hardest open
 // problem — "how do we ensure that a set of query results from a set of
@@ -161,9 +209,12 @@ func (l *releaseLedger) checkAndRecord(requester string, rel ledgerRelease, thre
 			continue
 		}
 		if d >= threshold {
-			return fmt.Errorf(
-				"mediator: refusing release: combined with your earlier %s-by-%s statistics it would pin hidden %s values to %.1f%% of their prior range (threshold %.1f%%)",
-				rel.valueCol, prior.axis, rel.valueCol, 100*d, 100*threshold)
+			return &CombinationRefusal{
+				ValueCol:   rel.valueCol,
+				PriorAxis:  prior.axis,
+				Disclosure: d,
+				Threshold:  threshold,
+			}
 		}
 	}
 	// Durable-before-visible: once the statistics leave the mediator they
@@ -171,7 +222,7 @@ func (l *releaseLedger) checkAndRecord(requester string, rel ledgerRelease, thre
 	// be released at all.
 	if l.persist != nil {
 		if err := l.persist(requester, rel); err != nil {
-			return fmt.Errorf("mediator: refusing unrecordable release: %w", err)
+			return &UnrecordableRefusal{Scope: "mediator", Err: err}
 		}
 	}
 	l.byRequester[requester] = append(l.byRequester[requester], rel)

@@ -15,9 +15,11 @@ import (
 	"time"
 
 	"privateiye/internal/linkage"
+	"privateiye/internal/obs"
 	"privateiye/internal/parallel"
 	"privateiye/internal/piql"
 	"privateiye/internal/qcache"
+	"privateiye/internal/refusal"
 	"privateiye/internal/resilience"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/source"
@@ -78,6 +80,15 @@ type Config struct {
 	// loss aggregation and the release ledger run on every query, cache
 	// hit or not. 0 disables caching. Invalidated by RefreshSchema.
 	PlanCache int
+	// Obs, when non-nil, receives the mediator's metrics (query and
+	// refusal counters, per-stage and per-source latencies, cache and
+	// warehouse counters, breaker state, WAL counters) under the
+	// piye_mediator_* / piye_breaker_* / piye_wal_* families. Trace,
+	// when non-nil, records one trace per mediated query with a span
+	// per pipeline stage and per source call. Both nil = zero
+	// instrumentation cost beyond one nil check per stage.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 // Mediator is a running mediation engine.
@@ -85,6 +96,7 @@ type Mediator struct {
 	cfg     Config
 	matcher *schemamatch.Matcher
 	plans   *qcache.Cache // parse cache; nil when disabled
+	obs     *medObs       // metric handles; nil when uninstrumented
 
 	mu              sync.RWMutex
 	schema          *xmltree.Summary            // mediated schema (merged partial summaries)
@@ -132,7 +144,26 @@ func New(cfg Config) (*Mediator, error) {
 		// the caller's slice stays untouched.
 		wrapped := make([]source.Endpoint, len(cfg.Endpoints))
 		for i, ep := range cfg.Endpoints {
-			wrapped[i] = resilience.WrapEndpoint(ep, *cfg.Resilience)
+			rcfg := *cfg.Resilience
+			if cfg.Obs != nil && !rcfg.DisableBreaker {
+				// Per-source breaker observability: a transition counter
+				// and a state gauge (0 closed, 1 half-open, 2 open),
+				// updated from the breaker's state-change hook. Any hook
+				// the caller installed still runs.
+				reg, name, prev := cfg.Obs, ep.Name(), rcfg.Breaker.OnStateChange
+				reg.Help("piye_breaker_state", "Circuit state per source: 0 closed, 1 half-open, 2 open.")
+				reg.Help("piye_breaker_transitions_total", "Circuit state transitions per source.")
+				gauge := reg.Gauge("piye_breaker_state", "source", name)
+				gauge.Set(0)
+				rcfg.Breaker.OnStateChange = func(from, to string) {
+					if prev != nil {
+						prev(from, to)
+					}
+					reg.Counter("piye_breaker_transitions_total", "source", name, "to", to).Inc()
+					gauge.Set(breakerStateValue(to))
+				}
+			}
+			wrapped[i] = resilience.WrapEndpoint(ep, rcfg)
 		}
 		cfg.Endpoints = wrapped
 	}
@@ -144,6 +175,48 @@ func New(cfg Config) (*Mediator, error) {
 		ledger:   newReleaseLedger(),
 	}
 	m.ledger.attackWorkers = cfg.Workers
+	names := make([]string, len(cfg.Endpoints))
+	for i, ep := range cfg.Endpoints {
+		names[i] = ep.Name()
+	}
+	m.obs = newMedObs(cfg.Obs, cfg.Trace, names)
+	if cfg.Obs != nil {
+		// Bridge counters the subsystems already keep, sampled at scrape
+		// time; the closures capture m, which outlives the registry's
+		// use of them only in the trivial sense that both live for the
+		// process.
+		cfg.Obs.Help("piye_plan_cache_hits_total", "Plan/parse cache hits.")
+		cfg.Obs.Help("piye_plan_cache_misses_total", "Plan/parse cache misses.")
+		cfg.Obs.CounterFunc("piye_plan_cache_hits_total", func() float64 {
+			h, _ := m.plans.Stats()
+			return float64(h)
+		}, "scope", "mediator")
+		cfg.Obs.CounterFunc("piye_plan_cache_misses_total", func() float64 {
+			_, mi := m.plans.Stats()
+			return float64(mi)
+		}, "scope", "mediator")
+		cfg.Obs.GaugeFunc("piye_plan_cache_entries", func() float64 {
+			return float64(m.plans.Len())
+		}, "scope", "mediator")
+		cfg.Obs.Help("piye_warehouse_hits_total", "Hybrid-warehouse hits.")
+		cfg.Obs.CounterFunc("piye_warehouse_hits_total", func() float64 {
+			h, _, _ := m.WarehouseStats()
+			return float64(h)
+		})
+		cfg.Obs.CounterFunc("piye_warehouse_misses_total", func() float64 {
+			_, mi, _ := m.WarehouseStats()
+			return float64(mi)
+		})
+		cfg.Obs.GaugeFunc("piye_warehouse_entries", func() float64 {
+			_, _, n := m.WarehouseStats()
+			return float64(n)
+		})
+		cfg.Obs.GaugeFunc("piye_mediator_history_entries", func() float64 {
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			return float64(len(m.history))
+		})
+	}
 	if cfg.WarehouseCapacity > 0 {
 		wh, err := warehouse.New(cfg.WarehouseCapacity, cfg.WarehouseTTL)
 		if err != nil {
@@ -302,7 +375,19 @@ func (m *Mediator) denialReason(err error) string {
 // (Config.SourceTimeout); the integrator returns whatever answered in
 // time and records stragglers in Denied with a timeout reason.
 func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string) (*Integrated, error) {
+	t0 := time.Now()
+	trace := m.obs.startTrace(requester, piqlText)
+	out, err := m.queryStages(ctx, piqlText, requester, trace)
+	m.obs.finish(trace, t0, out, err)
+	return out, err
+}
+
+// queryStages is the pipeline body, with one span per stage and one per
+// source call.
+func (m *Mediator) queryStages(ctx context.Context, piqlText, requester string, trace *obs.Trace) (*Integrated, error) {
+	ts := m.obs.now()
 	q, canonical, err := m.parseCached(piqlText)
+	m.obs.stage(trace, "parse", ts, spanOutcome(err))
 	if err != nil {
 		return nil, err
 	}
@@ -310,18 +395,25 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	// Hybrid path: serve from the warehouse when fresh.
 	whKey := requester + "|" + canonical
 	if m.wh != nil {
-		if res, ok := m.wh.Get(whKey); ok {
+		ts = m.obs.now()
+		res, ok := m.wh.Get(whKey)
+		if ok {
+			m.obs.stage(trace, "warehouse", ts, obs.OutcomeAnswered)
 			m.record(HistoryEntry{Requester: requester, Query: canonical, Sources: []string{"warehouse"}})
 			m.maybeSnapshot()
 			return &Integrated{Result: res, FromWarehouse: true, Answered: []string{"warehouse"}}, nil
 		}
+		m.obs.stage(trace, "warehouse", ts, obs.OutcomeSkipped)
 	}
 
 	// Fragmenter: route to relevant sources only.
+	ts = m.obs.now()
 	targets := m.route(q)
 	if len(targets) == 0 {
+		m.obs.stage(trace, "route", ts, obs.RefusedOutcome(refusal.NoSource.String()))
 		return nil, fmt.Errorf("mediator: no source holds data matching %s", q.For)
 	}
+	m.obs.stage(trace, "route", ts, obs.OutcomeAnswered)
 
 	type reply struct {
 		name string
@@ -331,12 +423,15 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	// Each goroutine sends exactly one reply into the buffered channel,
 	// so a source that overruns its deadline cannot stall collection and
 	// the goroutine never leaks.
+	tsFanout := m.obs.now()
 	replies := make(chan reply, len(targets))
 	for _, ep := range targets {
 		go func(ep source.Endpoint) {
+			tsCall := m.obs.now()
 			sctx, cancel := m.sourceCtx(ctx)
 			defer cancel()
 			node, err := ep.Query(sctx, canonical, requester)
+			m.obs.sourceCall(trace, ep.Name(), tsCall, err)
 			replies <- reply{name: ep.Name(), node: node, err: err}
 		}(ep)
 	}
@@ -362,6 +457,7 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	}
 	sort.Strings(out.Answered)
 	if len(answers) == 0 {
+		m.obs.stage(trace, "fanout", tsFanout, obs.RefusedOutcome(refusal.NoSource.String()))
 		reasons := make([]string, 0, len(out.Denied))
 		for s, r := range out.Denied {
 			reasons = append(reasons, s+": "+r)
@@ -369,31 +465,34 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 		sort.Strings(reasons)
 		return nil, fmt.Errorf("mediator: every source refused: %s", strings.Join(reasons, "; "))
 	}
+	m.obs.stage(trace, "fanout", tsFanout, obs.OutcomeAnswered)
 
 	// Result Integrator: merge per-source results. Aggregate queries are
 	// re-aggregated by group key (each source contributed partial
 	// aggregates over its own rows); plain queries are deduplicated.
+	ts = m.obs.now()
 	integrated := mergeAnswers(answers)
 	if q.IsAggregate() {
 		integrated, err = reaggregate(q, integrated)
-		if err != nil {
-			return nil, err
-		}
 	} else {
 		integrated, out.Duplicates, err = m.dedupe(integrated)
-		if err != nil {
-			return nil, err
-		}
+	}
+	m.obs.stage(trace, "integrate", ts, spanOutcome(err))
+	if err != nil {
+		return nil, err
 	}
 
 	// Privacy Control: the aggregated loss must respect the requester's
 	// budget — integrating cannot launder a violation (Section 5:
 	// computed per-source loss "may not hold after the results are
 	// integrated").
+	ts = m.obs.now()
 	if out.AggregatedLoss > q.MaxLoss {
+		m.obs.stage(trace, "control", ts, obs.RefusedOutcome(refusal.LossBudget.String()))
 		return nil, fmt.Errorf("mediator: integrated information loss %.2f exceeds the requester's MAXLOSS %.2f",
 			out.AggregatedLoss, q.MaxLoss)
 	}
+	m.obs.stage(trace, "control", ts, obs.OutcomeAnswered)
 
 	// Global ordering and limit: per-source ORDER BY does not survive
 	// merging, and a per-source LIMIT n yields up to n rows per source.
@@ -411,7 +510,10 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	// into a Figure 1 system (second-level enforcement across queries).
 	if q.IsAggregate() {
 		if rel, ok := classifyRelease(q, integrated); ok {
-			if err := m.ledger.checkAndRecord(requester, rel, m.cfg.MaxDisclosure, m.cfg.LedgerTolerance); err != nil {
+			ts = m.obs.now()
+			err := m.ledger.checkAndRecord(requester, rel, m.cfg.MaxDisclosure, m.cfg.LedgerTolerance)
+			m.obs.stage(trace, "ledger", ts, spanOutcome(err))
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -430,6 +532,12 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	})
 	m.maybeSnapshot()
 	return out, nil
+}
+
+// Observability exposes the mediator's metrics registry and tracer (nil
+// when not configured); the HTTP handler mounts them.
+func (m *Mediator) Observability() (*obs.Registry, *obs.Tracer) {
+	return m.cfg.Obs, m.cfg.Trace
 }
 
 // parsedQuery is one parse-cache entry: the parsed (immutable) query

@@ -1,0 +1,178 @@
+package mediator
+
+// Observability hooks for the mediation pipeline. Handles resolve once
+// in New; a mediator built without a Registry or Tracer carries a nil
+// *medObs whose methods are no-ops, so QueryContext's instrumentation
+// is unconditional and the uninstrumented hot path pays one nil check
+// per stage.
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"privateiye/internal/obs"
+	"privateiye/internal/refusal"
+	"privateiye/internal/resilience"
+)
+
+// mediatorStages are the per-stage span and histogram names of the
+// Figure 2(b) pipeline. "source" spans (one per fanned-out source call)
+// additionally carry the source name.
+var mediatorStages = []string{"parse", "warehouse", "route", "fanout", "integrate", "control", "ledger"}
+
+// srcCallObs are the per-source fan-out handles.
+type srcCallObs struct {
+	answered *obs.Counter
+	denied   *obs.Counter
+	seconds  *obs.Histogram
+}
+
+// medObs holds the mediator's pre-resolved metric handles.
+type medObs struct {
+	tracer *obs.Tracer
+
+	answered  *obs.Counter
+	warehouse *obs.Counter
+	refused   *obs.Counter
+	latency   *obs.Histogram
+	refusals  map[refusal.Reason]*obs.Counter
+	stages    map[string]*obs.Histogram
+	sources   map[string]*srcCallObs
+}
+
+func newMedObs(reg *obs.Registry, tracer *obs.Tracer, sourceNames []string) *medObs {
+	if reg == nil && tracer == nil {
+		return nil
+	}
+	reg.Help("piye_mediator_queries_total", "Mediated queries by outcome (warehouse = served materialized).")
+	reg.Help("piye_mediator_refusals_total", "Refused queries by normalized reason.")
+	reg.Help("piye_mediator_query_seconds", "Full mediation latency per query.")
+	reg.Help("piye_mediator_stage_seconds", "Per-stage latency of the mediation pipeline.")
+	reg.Help("piye_mediator_source_calls_total", "Fan-out calls per source by outcome.")
+	reg.Help("piye_mediator_source_seconds", "Fan-out call latency per source.")
+	o := &medObs{
+		tracer:    tracer,
+		answered:  reg.Counter("piye_mediator_queries_total", "outcome", "answered"),
+		warehouse: reg.Counter("piye_mediator_queries_total", "outcome", "warehouse"),
+		refused:   reg.Counter("piye_mediator_queries_total", "outcome", "refused"),
+		latency:   reg.Histogram("piye_mediator_query_seconds", nil),
+		refusals:  map[refusal.Reason]*obs.Counter{},
+		stages:    map[string]*obs.Histogram{},
+		sources:   map[string]*srcCallObs{},
+	}
+	// Pre-register every refusal reason so /metrics shows zero counts
+	// instead of absent series.
+	for _, rs := range refusal.All() {
+		o.refusals[rs] = reg.Counter("piye_mediator_refusals_total", "reason", rs.String())
+	}
+	for _, st := range mediatorStages {
+		o.stages[st] = reg.Histogram("piye_mediator_stage_seconds", nil, "stage", st)
+	}
+	for _, name := range sourceNames {
+		o.sources[name] = &srcCallObs{
+			answered: reg.Counter("piye_mediator_source_calls_total", "source", name, "outcome", "answered"),
+			denied:   reg.Counter("piye_mediator_source_calls_total", "source", name, "outcome", "denied"),
+			seconds:  reg.Histogram("piye_mediator_source_seconds", nil, "source", name),
+		}
+	}
+	return o
+}
+
+// startTrace begins a per-query trace (nil when tracing is disabled).
+func (o *medObs) startTrace(requester, query string) *obs.Trace {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return o.tracer.Start(requester, query)
+}
+
+// now returns the stage start time (zero when observability is off, so
+// disabled pipelines skip even the clock read).
+func (o *medObs) now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stage records one finished pipeline stage: the stage histogram and the
+// trace span, off a single clock read. A direct method rather than a
+// returned closure: closures capturing the stage state escape to the
+// heap, and this runs twice on the warehouse-served hot path.
+func (o *medObs) stage(trace *obs.Trace, name string, t0 time.Time, outcome string) {
+	if o == nil {
+		return
+	}
+	d := time.Since(t0)
+	o.stages[name].Observe(d.Seconds())
+	trace.Record(name, "", t0, d, outcome)
+}
+
+// sourceCall records one fanned-out source call; called from the fan-out
+// goroutine (Trace spans and counters are concurrency-safe).
+func (o *medObs) sourceCall(trace *obs.Trace, name string, t0 time.Time, err error) {
+	if o == nil {
+		return
+	}
+	d := time.Since(t0)
+	if sc := o.sources[name]; sc != nil {
+		sc.seconds.Observe(d.Seconds())
+		if err == nil {
+			sc.answered.Inc()
+		} else {
+			sc.denied.Inc()
+		}
+	}
+	trace.Record("source", name, t0, d, spanOutcome(err))
+}
+
+// finish closes the query: outcome counters, total latency, trace
+// outcome.
+func (o *medObs) finish(trace *obs.Trace, t0 time.Time, out *Integrated, err error) {
+	if o == nil {
+		return
+	}
+	o.latency.Observe(time.Since(t0).Seconds())
+	switch {
+	case err != nil:
+		reason := refusal.Classify(err)
+		o.refused.Inc()
+		o.refusals[reason].Inc()
+		trace.Finish(obs.RefusedOutcome(reason.String()))
+	case out != nil && out.FromWarehouse:
+		o.warehouse.Inc()
+		trace.Finish(obs.OutcomeAnswered)
+	default:
+		o.answered.Inc()
+		trace.Finish(obs.OutcomeAnswered)
+	}
+}
+
+// spanOutcome renders a stage or source-call error as a span outcome:
+// timeouts and breaker skips keep their dedicated outcomes, everything
+// else reuses the refusal vocabulary.
+func spanOutcome(err error) string {
+	switch {
+	case err == nil:
+		return obs.OutcomeAnswered
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeTimeout
+	case errors.Is(err, resilience.ErrOpen):
+		return obs.OutcomeSkipped
+	default:
+		return obs.RefusedOutcome(refusal.Classify(err).String())
+	}
+}
+
+// breakerStateValue maps a breaker state name to the exported gauge
+// value: 0 closed, 1 half-open, 2 open.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	}
+	return 0
+}

@@ -105,6 +105,8 @@ func (m *Mediator) openDurable(cfg DurabilityConfig) error {
 		FsyncInterval: cfg.FsyncInterval,
 		SnapshotEvery: cfg.SnapshotEvery,
 		Failpoints:    cfg.Failpoints,
+		Obs:           m.cfg.Obs,
+		ObsScope:      "mediator",
 	})
 	if err != nil {
 		return fmt.Errorf("mediator: opening state dir: %w", err)

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// MetricsHandler serves the registry in Prometheus text format. A nil
+// registry serves an empty (valid) exposition.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TraceHandler serves the last N finished traces (?last=N, default 16,
+// capped at the ring size) as a JSON array, newest first.
+func TraceHandler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 16
+		if s := req.URL.Query().Get("last"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "obs: last must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		traces := tr.Last(n)
+		if traces == nil {
+			traces = []*Trace{}
+		}
+		_ = enc.Encode(traces)
+	})
+}
+
+// Attach mounts the observability surface on an existing mux:
+// GET /metrics and GET /debug/trace.
+func Attach(mux *http.ServeMux, r *Registry, tr *Tracer) {
+	mux.Handle("GET /metrics", MetricsHandler(r))
+	mux.Handle("GET /debug/trace", TraceHandler(tr))
+}
+
+// DebugHandler builds the standalone debug surface served behind the
+// daemons' -debug-addr flag: /metrics, /debug/trace and the
+// net/http/pprof suite. The pprof handlers are mounted explicitly so
+// nothing leaks onto http.DefaultServeMux.
+func DebugHandler(r *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	Attach(mux, r, tr)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// RegisterProcessMetrics adds process-level series sampled at scrape
+// time: goroutine count, heap in use, and completed GC cycles. Call it
+// once per process on the registry behind /metrics.
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Help("piye_goroutines", "Current number of goroutines.")
+	r.GaugeFunc("piye_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.Help("piye_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	r.GaugeFunc("piye_heap_alloc_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.Help("piye_gc_cycles_total", "Completed garbage-collection cycles.")
+	r.CounterFunc("piye_gc_cycles_total", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"privateiye/internal/parallel"
 )
@@ -119,6 +120,13 @@ type Party struct {
 	secret  *big.Int
 	workers int
 
+	// Protocol counters (see Stats): items blinded, blinds served from
+	// the precomputation table, peer elements exponentiated. Atomics, so
+	// an observability scrape never contends with a round in flight.
+	blindItems atomic.Uint64
+	blindHits  atomic.Uint64
+	expItems   atomic.Uint64
+
 	// blinds is the fixed-secret precomputation table: because the
 	// party's exponent never changes, H(item)^secret is a pure function
 	// of the item, so repeated protocol rounds (the mediator re-linking
@@ -192,10 +200,12 @@ func (p *Party) storeBlinds(items []string, vals []*big.Int) {
 func (p *Party) Blind(items []string) []*big.Int {
 	out := make([]*big.Int, len(items))
 	fresh := make([]*big.Int, len(items)) // only newly computed entries
+	p.blindItems.Add(uint64(len(items)))
 	// parallel.ForEach with an always-nil error never fails.
 	_ = parallel.ForEach(context.Background(), len(items), p.workers, func(i int) error {
 		if v, ok := p.cachedBlind(items[i]); ok {
 			out[i] = v
+			p.blindHits.Add(1)
 			return nil
 		}
 		v := new(big.Int).Exp(p.group.HashToGroup(items[i]), p.secret, p.group.P)
@@ -219,9 +229,18 @@ func (p *Party) Exponentiate(elems []*big.Int) ([]*big.Int, error) {
 			return nil, fmt.Errorf("psi: element %d out of group range", i)
 		}
 	}
+	p.expItems.Add(uint64(len(elems)))
 	return parallel.Map(context.Background(), len(elems), p.workers, func(i int) (*big.Int, error) {
 		return new(big.Int).Exp(elems[i], p.secret, p.group.P), nil
 	})
+}
+
+// Stats reports the party's lifetime protocol counters: items blinded
+// (Blind calls, including cache hits), blinds served from the
+// precomputation table, and peer elements exponentiated. Safe for
+// concurrent use.
+func (p *Party) Stats() (blinded, blindCacheHits, exponentiated uint64) {
+	return p.blindItems.Load(), p.blindHits.Load(), p.expItems.Load()
 }
 
 // Intersect runs the full semi-honest protocol in-process between an

@@ -23,6 +23,12 @@ type BreakerConfig struct {
 	OpenFor time.Duration
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
+	// OnStateChange, when non-nil, is called after every state
+	// transition with the old and new state names ("closed", "open",
+	// "half-open"). It runs outside the breaker's lock, so it may call
+	// back into the breaker; it must not block (the observability layer
+	// counts transitions here).
+	OnStateChange func(from, to string)
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -83,23 +89,35 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // the probe reports).
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	prev := b.state
+	var err error
 	switch b.state {
 	case stateClosed:
-		return nil
+		// proceed
 	case stateOpen:
 		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenFor {
-			return ErrOpen
+			err = ErrOpen
+		} else {
+			b.state = stateHalfOpen
+			b.probing = true
 		}
-		b.state = stateHalfOpen
-		b.probing = true
-		return nil
 	default: // half-open
 		if b.probing {
-			return ErrOpen
+			err = ErrOpen
+		} else {
+			b.probing = true
 		}
-		b.probing = true
-		return nil
+	}
+	next := b.state
+	b.mu.Unlock()
+	b.notify(prev, next)
+	return err
+}
+
+// notify runs the OnStateChange hook outside the lock.
+func (b *Breaker) notify(from, to breakerState) {
+	if from != to && b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from.String(), to.String())
 	}
 }
 
@@ -112,26 +130,29 @@ func (b *Breaker) Report(err error) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	prev := b.state
 	if err == nil {
 		b.state = stateClosed
 		b.failures = 0
 		b.probing = false
-		return
-	}
-	switch b.state {
-	case stateHalfOpen:
-		// Failed probe: back to open, restart the cool-down.
-		b.state = stateOpen
-		b.openedAt = b.cfg.Clock()
-		b.probing = false
-	default:
-		b.failures++
-		if b.failures >= b.cfg.FailureThreshold {
+	} else {
+		switch b.state {
+		case stateHalfOpen:
+			// Failed probe: back to open, restart the cool-down.
 			b.state = stateOpen
 			b.openedAt = b.cfg.Clock()
+			b.probing = false
+		default:
+			b.failures++
+			if b.failures >= b.cfg.FailureThreshold {
+				b.state = stateOpen
+				b.openedAt = b.cfg.Clock()
+			}
 		}
 	}
+	next := b.state
+	b.mu.Unlock()
+	b.notify(prev, next)
 }
 
 // State reports the current state name ("closed", "open", "half-open")

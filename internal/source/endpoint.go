@@ -120,6 +120,25 @@ func (l *Local) psiParty() (*psi.Party, error) {
 			return nil, err
 		}
 		l.party = p.SetWorkers(l.Src.cfg.Workers)
+		if reg := l.Src.cfg.Obs; reg != nil {
+			// Sampled at scrape time from the party's atomic counters.
+			// The party lives as long as the endpoint, so the closures
+			// never outlive their subject.
+			name, party := l.Src.Name(), l.party
+			reg.Help("piye_psi_blind_items_total", "Items blinded in PSI rounds (cache hits included).")
+			reg.CounterFunc("piye_psi_blind_items_total", func() float64 {
+				b, _, _ := party.Stats()
+				return float64(b)
+			}, "source", name)
+			reg.CounterFunc("piye_psi_blind_cache_hits_total", func() float64 {
+				_, h, _ := party.Stats()
+				return float64(h)
+			}, "source", name)
+			reg.CounterFunc("piye_psi_exponentiate_items_total", func() float64 {
+				_, _, e := party.Stats()
+				return float64(e)
+			}, "source", name)
+		}
 	}
 	return l.party, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"privateiye/internal/linkage"
+	"privateiye/internal/obs"
 	"privateiye/internal/policy"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/xmltree"
@@ -133,6 +134,11 @@ func NewHandler(l *Local) http.Handler {
 		}
 		writeNode(w, linkage.RecordsToNode(recs, linkageM))
 	})
+
+	// /metrics and /debug/trace, when the source was built with a
+	// registry or tracer.
+	reg, tracer := l.Src.Observability()
+	obs.Attach(mux, reg, tracer)
 
 	return mux
 }

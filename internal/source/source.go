@@ -5,10 +5,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"privateiye/internal/accesscontrol"
 	"privateiye/internal/audit"
 	"privateiye/internal/cluster"
+	"privateiye/internal/obs"
 	"privateiye/internal/optimizer"
 	"privateiye/internal/piql"
 	"privateiye/internal/policy"
@@ -58,6 +60,14 @@ type Config struct {
 	// auditing, preservation and loss accounting run on every
 	// execution. 0 disables caching.
 	PlanCache int
+	// Obs, when non-nil, receives this source's metrics (query and
+	// refusal counters, stage latencies, plan-cache and PSI counters)
+	// under piye_source_* / piye_psi_* series labelled with the source
+	// name. Trace, when non-nil, records one trace per executed query
+	// with a span per pipeline stage. Both nil = zero instrumentation
+	// cost beyond one nil check per stage.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 // Source is a running remote source.
@@ -68,6 +78,7 @@ type Source struct {
 	rng      *stats.Rand
 	summary  *xmltree.Summary // full (unredacted) structural summary
 	plans    *qcache.Cache    // parse/plan cache; nil when disabled
+	obs      *srcObs          // metric handles; nil when uninstrumented
 
 	mu    sync.RWMutex
 	prefs []*policy.Policy // registered data-subject preferences
@@ -139,7 +150,30 @@ func New(cfg Config) (*Source, error) {
 	s.summary = s.buildSummary()
 	s.resolver = s.matcher.ResolverFor(s.summary.LeafNames())
 	s.prefs = append(s.prefs, cfg.Preferences...)
+	s.obs = newSrcObs(cfg.Name, cfg.Obs, cfg.Trace)
+	if cfg.Obs != nil {
+		scope := "source:" + cfg.Name
+		cfg.Obs.Help("piye_plan_cache_hits_total", "Plan/parse cache hits.")
+		cfg.Obs.Help("piye_plan_cache_misses_total", "Plan/parse cache misses.")
+		cfg.Obs.CounterFunc("piye_plan_cache_hits_total", func() float64 {
+			h, _ := s.plans.Stats()
+			return float64(h)
+		}, "scope", scope)
+		cfg.Obs.CounterFunc("piye_plan_cache_misses_total", func() float64 {
+			_, m := s.plans.Stats()
+			return float64(m)
+		}, "scope", scope)
+		cfg.Obs.GaugeFunc("piye_plan_cache_entries", func() float64 {
+			return float64(s.plans.Len())
+		}, "scope", scope)
+	}
 	return s, nil
+}
+
+// Observability exposes the source's metrics registry and tracer (nil
+// when not configured); the HTTP handler mounts them.
+func (s *Source) Observability() (*obs.Registry, *obs.Tracer) {
+	return s.cfg.Obs, s.cfg.Trace
 }
 
 // AddPreference registers a data-subject preference policy at runtime —
@@ -327,7 +361,18 @@ func (s *Source) planFor(q *piql.Query, requester string) (*planEntry, error) {
 // from the plan cache; everything stateful — sequence auditing,
 // execution, preservation, loss accounting — runs unconditionally.
 func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
+	t0 := time.Now()
+	trace := s.obs.startTrace(requester, q)
+	ans, err := s.executeStages(q, requester, trace)
+	s.obs.finish(trace, t0, err)
+	return ans, err
+}
+
+// executeStages is the pipeline body, with one span per stage.
+func (s *Source) executeStages(q *piql.Query, requester string, trace *obs.Trace) (*Answer, error) {
+	ts := s.obs.now()
 	entry, err := s.planFor(q, requester)
+	s.obs.stage(trace, "plan", ts, spanOutcome(err))
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +385,10 @@ func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
 	if s.cfg.Audit != nil && rq.IsAggregate() {
 		set, ok := s.contextIndexSet(rq)
 		if ok && len(set) > 0 {
-			if err := s.cfg.Audit.For(requester).CheckAndCommit(set); err != nil {
+			ts = s.obs.now()
+			err := s.cfg.Audit.For(requester).CheckAndCommit(set)
+			s.obs.stage(trace, "audit", ts, spanOutcome(err))
+			if err != nil {
 				return nil, fmt.Errorf("source %s: %w", s.cfg.Name, err)
 			}
 		}
@@ -348,13 +396,17 @@ func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
 
 	// 5. Execution: native relational when transformable, XML evaluation
 	// otherwise.
+	ts = s.obs.now()
 	raw, err := s.executeRaw(rq)
+	s.obs.stage(trace, "execute", ts, spanOutcome(err))
 	if err != nil {
 		return nil, fmt.Errorf("source %s: execute: %w", s.cfg.Name, err)
 	}
 
 	// 6. Privacy preservation on the results.
+	ts = s.obs.now()
 	preserved, err := technique.Apply(raw, s.rng)
+	s.obs.stage(trace, "preserve", ts, spanOutcome(err))
 	if err != nil {
 		return nil, fmt.Errorf("source %s: preservation: %w", s.cfg.Name, err)
 	}
