@@ -1,6 +1,6 @@
 // Command piye-bench runs the PRIVATE-IYE experiment harness: every table
 // and figure of EXPERIMENTS.md, printed as aligned text tables. E1–E4
-// regenerate the paper's Figure 1; E5–E20 measure the architecture's
+// regenerate the paper's Figure 1; E5–E21 measure the architecture's
 // design choices.
 //
 // Usage:
@@ -17,12 +17,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"privateiye/internal/experiments"
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E20)")
+	only := flag.String("only", "", "run only the named experiment (E1..E21)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	guard := flag.String("guard", "", "compare the perf-guard metrics against this baseline JSON and exit 1 on regression")
 	updateBaseline := flag.String("update-baseline", "", "measure the perf-guard metrics and write them to this baseline JSON")
@@ -141,6 +142,13 @@ func main() {
 				queries, rounds = 60, 3
 			}
 			return experiments.E20ObsOverhead(queries, rounds)
+		})},
+		{"E21", wrap(func() (*experiments.Table, error) {
+			svc, total := 4*time.Millisecond, 160
+			if *quick {
+				svc, total = 2*time.Millisecond, 60
+			}
+			return experiments.E21AdmissionOverload(svc, total)
 		})},
 	}
 

@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"privateiye/internal/admission"
 	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
 	"privateiye/internal/obs"
@@ -66,6 +67,13 @@ func main() {
 	planCache := flag.Int("plan-cache", 256, "parse/plan cache capacity in entries (0 = disabled)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for /metrics, /debug/trace and /debug/pprof (empty = pprof off; /metrics and /debug/trace are always on -addr)")
 	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "finished per-query traces kept for /debug/trace (0 = tracing off)")
+	admitMax := flag.Int("admit-max-concurrent", 0, "hard ceiling on concurrent queries; sheds answer 503 with Retry-After (0 = no concurrency limit)")
+	admitMin := flag.Int("admit-min-concurrent", 1, "AIMD floor of the adaptive concurrency limit")
+	admitQueue := flag.Int("admit-queue", 0, "admission queue capacity (0 = 2x ceiling, negative = shed immediately at the limit)")
+	admitTarget := flag.Duration("admit-latency-target", 0, "query latency above which AIMD halves the concurrency limit (0 = only deadline misses count)")
+	admitRate := flag.Float64("admit-rate", 0, "per-requester token-bucket refill in queries/sec; excess answers 429 (0 = no rate limit)")
+	admitBurst := flag.Float64("admit-burst", 0, "per-requester token-bucket burst capacity (0 = max(rate, 1))")
+	admitBrownout := flag.Bool("admit-brownout", false, "answer overload sheds from the warehouse, staleness allowed and marked stale (needs -warehouse)")
 	flag.Parse()
 
 	if *salt == defaultSalt {
@@ -99,6 +107,22 @@ func main() {
 	} else {
 		log.Print("piye-mediator: WARNING: no -state-dir; the release ledger and query history are in-memory only, and a restart resets the combination controls (restart-amnesia)")
 	}
+	var admit *admission.Config
+	if *admitMax > 0 || *admitRate > 0 {
+		admit = &admission.Config{
+			MaxConcurrent: *admitMax,
+			MinConcurrent: *admitMin,
+			QueueCapacity: *admitQueue,
+			LatencyTarget: *admitTarget,
+			RatePerSec:    *admitRate,
+			Burst:         *admitBurst,
+		}
+	} else if *admitBrownout {
+		log.Print("piye-mediator: WARNING: -admit-brownout without -admit-max-concurrent or -admit-rate never triggers (nothing is ever shed)")
+	}
+	if *admitBrownout && *whCap == 0 {
+		log.Print("piye-mediator: WARNING: -admit-brownout without -warehouse has no materializations to serve; overload sheds will fail with 503")
+	}
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	var tracer *obs.Tracer
@@ -120,6 +144,8 @@ func main() {
 		PlanCache:         *planCache,
 		Obs:               reg,
 		Trace:             tracer,
+		Admission:         admit,
+		Brownout:          *admitBrownout,
 	})
 	if err != nil {
 		log.Fatalf("piye-mediator: %v", err)

@@ -1,0 +1,41 @@
+package admission
+
+import (
+	"math"
+	"time"
+)
+
+// bucket is one requester's token bucket. Guarded by Controller.mu: the
+// per-request work is a map lookup and a handful of float ops, far
+// cheaper than the parse/rewrite/audit pipeline behind the gate.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// takeToken refills and debits the requester's bucket. On refusal it
+// returns how long until the next token accrues — the Retry-After hint.
+func (c *Controller) takeToken(requester string, now time.Time) (wait time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.buckets[requester]
+	if b == nil {
+		if len(c.buckets) >= maxBuckets {
+			// See maxBuckets: forgetting everyone briefly over-admits,
+			// which is the safe direction.
+			c.buckets = map[string]*bucket{}
+		}
+		b = &bucket{tokens: c.cfg.Burst, last: now}
+		c.buckets[requester] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(c.cfg.Burst, b.tokens+elapsed*c.cfg.RatePerSec)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / c.cfg.RatePerSec * float64(time.Second)), false
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"privateiye/internal/admission"
 	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
 	"privateiye/internal/obs"
@@ -78,6 +79,19 @@ type SystemConfig struct {
 	// in-process source that does not set its own, the source's
 	// parse/plan cache (entries; 0 disables caching).
 	PlanCache int
+	// Admission, when non-nil and enabled, gates the mediator query path
+	// with admission control: per-requester rate limiting, an adaptive
+	// (AIMD) concurrency limit and deadline-aware queueing (see
+	// internal/admission). Sheds are distinguishable from privacy
+	// refusals end to end (refusal.Overloaded / refusal.RateLimited,
+	// HTTP 429/503 with Retry-After).
+	Admission *admission.Config
+	// Brownout answers Overloaded sheds from the warehouse, staleness
+	// allowed and marked, instead of failing them. Needs a warehouse.
+	Brownout bool
+	// SourceAdmission, when non-nil, gates every in-process source's
+	// execute path that does not configure its own admission.
+	SourceAdmission *admission.Config
 	// Obs, when non-nil, collects metrics from the mediator and every
 	// in-process source into one registry (see internal/obs).
 	Obs *obs.Registry
@@ -122,6 +136,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		if sc.Obs == nil {
 			sc.Obs = cfg.Obs
 		}
+		if sc.Admission == nil && cfg.SourceAdmission != nil {
+			ac := *cfg.SourceAdmission
+			sc.Admission = &ac
+		}
 		src, err := source.New(sc)
 		if err != nil {
 			return nil, fmt.Errorf("core: source %s: %w", sc.Name, err)
@@ -163,6 +181,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		PlanCache:         cfg.PlanCache,
 		Obs:               cfg.Obs,
 		Trace:             cfg.Trace,
+		Admission:         cfg.Admission,
+		Brownout:          cfg.Brownout,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,246 @@
+// Overload end to end: a mediator with admission control and brownout
+// in front of a real HTTP source node that can be slowed on demand. The
+// scenario floods the mediator past its concurrency limit and checks
+// the full contract: sheds answer 429/503 with Retry-After, brownout
+// serves marked-stale warehouse answers, privacy refusals stay
+// distinguishable from sheds in status codes, metrics and traces, and
+// the system returns to normal service once the flood passes.
+package e2e
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privateiye/internal/admission"
+	"privateiye/internal/clinical"
+	"privateiye/internal/mediator"
+	"privateiye/internal/obs"
+	"privateiye/internal/policy"
+	"privateiye/internal/preserve"
+	"privateiye/internal/psi"
+	"privateiye/internal/relational"
+	"privateiye/internal/source"
+)
+
+// slowableNode is complianceNode with a tap: while delayNs is non-zero,
+// every /query call sleeps that long before executing, simulating a
+// backend that overload has made slow.
+func slowableNode(t *testing.T, name string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	tab, err := clinical.ComplianceTable("compliance", clinical.HMOs, clinical.Tests, clinical.Figure1GroundTruth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := relational.NewCatalog()
+	if err := cat.Add(tab); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewPolicy(name, policy.Deny,
+		policy.Rule{Item: "//compliance//*", Purpose: "research", Form: policy.Aggregate, Effect: policy.Allow, MaxLoss: 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.New(source.Config{
+		Name: name, Catalog: cat, Policy: pol, Registry: preserve.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := source.NewLocal(src, salt, psi.TestGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delayNs atomic.Int64
+	h := source.NewHandler(local)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := delayNs.Load(); d > 0 && strings.HasPrefix(r.URL.Path, "/query") {
+			time.Sleep(time.Duration(d))
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &delayNs
+}
+
+// postRaw is postQuery returning the full response, for header checks.
+func postRaw(t *testing.T, base, query, requester string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/query", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Requester", requester)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, string(body)
+}
+
+func retryAfterSeconds(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		t.Fatalf("%d response without Retry-After", resp.StatusCode)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not delay-seconds: %v", v, err)
+	}
+	return n
+}
+
+func TestOverloadAdmissionEndToEnd(t *testing.T) {
+	node, delayNs := slowableNode(t, "alpha")
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(32)
+	med, err := mediator.New(mediator.Config{
+		Endpoints:         []source.Endpoint{source.NewClient(node.URL, "alpha")},
+		LinkageSalt:       salt,
+		MaxDisclosure:     0.9,
+		LedgerTolerance:   0.05,
+		SourceTimeout:     10 * time.Second,
+		WarehouseCapacity: 8,
+		WarehouseTTL:      1,
+		PlanCache:         64,
+		Admission: &admission.Config{
+			MaxConcurrent: 1,
+			QueueCapacity: -1, // shed immediately at the limit
+			RatePerSec:    0.2,
+			Burst:         4,
+		},
+		Brownout: true,
+		Obs:      reg,
+		Trace:    tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	medSrv := httptest.NewServer(mediator.NewHandler(med))
+	defer medSrv.Close()
+
+	// --- Normal service: release, then a privacy refusal ----------------
+
+	// The release also materializes analyst's warehouse entry — the
+	// stale copy brownout will serve during the flood.
+	if code, body := postQuery(t, medSrv.URL, perTestQuery, "analyst"); code != http.StatusOK {
+		t.Fatalf("baseline release: %d %s", code, body)
+	}
+	code, body := postQuery(t, medSrv.URL, perHMOQuery, "analyst")
+	if code != http.StatusForbidden || !strings.Contains(body, "combined") {
+		t.Fatalf("Figure 1 combination must still be refused (403): %d %s", code, body)
+	}
+
+	// --- Rate limiting: the fifth query in a burst answers 429 ----------
+
+	var resp *http.Response
+	for i := 0; i < 5; i++ {
+		resp, body = postRaw(t, medSrv.URL, perTestQuery, "flooder")
+		if i < 4 && resp.StatusCode != http.StatusOK {
+			t.Fatalf("flooder query %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("burst overflow = %d %s, want 429", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "rate limit") {
+		t.Fatalf("429 body should say rate limit: %s", body)
+	}
+	if ra := retryAfterSeconds(t, resp); ra < 1 {
+		t.Fatalf("429 Retry-After = %d, want >= 1s", ra)
+	}
+
+	// --- Concurrency flood: shed, brownout, and recovery ----------------
+
+	delayNs.Store(int64(400 * time.Millisecond))
+	occupied := make(chan struct{})
+	go func() {
+		defer close(occupied)
+		if code, body := postQuery(t, medSrv.URL, perTestQuery, "occupier"); code != http.StatusOK {
+			t.Errorf("occupier (admitted, slow): %d %s", code, body)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for med.AdmissionStats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("occupier never acquired the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// analyst has a (stale, TTL 1) warehouse entry: brownout serves it,
+	// marked, instead of shedding.
+	resp, body = postRaw(t, medSrv.URL, perTestQuery, "analyst")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("brownout answer: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `stale="true"`) || !strings.Contains(body, "stale-age") {
+		t.Fatalf("brownout answer is not marked stale: %s", body)
+	}
+
+	// A requester with nothing materialized is shed: 503 + Retry-After.
+	resp, body = postRaw(t, medSrv.URL, perTestQuery, "stranger")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("flood shed = %d %s, want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "overloaded") {
+		t.Fatalf("503 body should say overloaded: %s", body)
+	}
+	retryAfterSeconds(t, resp)
+
+	<-occupied
+	delayNs.Store(0)
+
+	// Flood over: normal service resumes, nothing stays wedged.
+	if code, body := postQuery(t, medSrv.URL, perTestQuery, "prober"); code != http.StatusOK {
+		t.Fatalf("post-flood query: %d %s", code, body)
+	}
+	if s := med.AdmissionStats(); s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("admission did not drain: %+v", s)
+	}
+
+	// --- Metrics: sheds and refusals never share a series ----------------
+
+	samples := scrape(t, medSrv.URL)
+	wantSample(t, samples, `piye_mediator_queries_total{outcome="refused"}`, 1)
+	wantSample(t, samples, `piye_mediator_queries_total{outcome="shed"}`, 2)
+	wantSample(t, samples, `piye_mediator_queries_total{outcome="brownout"}`, 1)
+	wantSample(t, samples, `piye_mediator_refusals_total{reason="ledger-combination"}`, 1)
+	wantSample(t, samples, `piye_mediator_refusals_total{reason="ratelimited"}`, 1)
+	wantSample(t, samples, `piye_mediator_refusals_total{reason="overloaded"}`, 1)
+	wantSample(t, samples, `piye_admission_shed_total{scope="mediator",cause="ratelimited"}`, 1)
+	wantSample(t, samples, `piye_admission_shed_total{scope="mediator",cause="queue-full"}`, 2)
+	wantSample(t, samples, `piye_admission_inflight{scope="mediator"}`, 0)
+	wantSample(t, samples, `piye_admission_queue_depth{scope="mediator"}`, 0)
+	wantAtLeast(t, samples, `piye_admission_limit{scope="mediator"}`, 1)
+	wantAtLeast(t, samples, `piye_admission_admitted_total{scope="mediator"}`, 7)
+
+	// --- Traces: each outcome tells its own story ------------------------
+
+	var sawRateLimited, sawOverloaded, sawRefusal, sawBrownout bool
+	for _, tr := range getTraces(t, medSrv.URL, 32) {
+		switch {
+		case tr.Outcome == "refused:ratelimited" && tr.Requester == "flooder":
+			sawRateLimited = true
+		case tr.Outcome == "refused:overloaded" && tr.Requester == "stranger":
+			sawOverloaded = true
+		case tr.Outcome == "refused:ledger-combination" && tr.Requester == "analyst":
+			sawRefusal = true
+		case tr.Outcome == "answered" && tr.Requester == "analyst" && tr.Query == perTestQuery:
+			sawBrownout = true
+		}
+	}
+	if !sawRateLimited || !sawOverloaded || !sawRefusal || !sawBrownout {
+		t.Errorf("traces missing outcomes: ratelimited=%v overloaded=%v refusal=%v brownout=%v",
+			sawRateLimited, sawOverloaded, sawRefusal, sawBrownout)
+	}
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privateiye/internal/admission"
+	"privateiye/internal/clinical"
+	"privateiye/internal/mediator"
+	"privateiye/internal/policy"
+	"privateiye/internal/psi"
+	"privateiye/internal/relational"
+	"privateiye/internal/source"
+	"privateiye/internal/xmltree"
+)
+
+// slowEndpoint models the scarce resource overload experiments need: a
+// backend with ONE worker and a fixed per-query service time. Requests
+// queue on the semaphore in arrival order and each one burns a full
+// service slot even when its caller has already given up — exactly the
+// wasted work an unprotected server does under overload. Admission
+// control sheds before the fan-out, so shed queries never reach it.
+type slowEndpoint struct {
+	source.Endpoint
+	svc  time.Duration
+	sem  chan struct{}
+	work atomic.Int64 // service slots consumed
+}
+
+func newSlowEndpoint(ep source.Endpoint, svc time.Duration) *slowEndpoint {
+	return &slowEndpoint{Endpoint: ep, svc: svc, sem: make(chan struct{}, 1)}
+}
+
+func (s *slowEndpoint) Query(ctx context.Context, piqlText, requester string) (*xmltree.Node, error) {
+	s.sem <- struct{}{}
+	time.Sleep(s.svc)
+	s.work.Add(1)
+	<-s.sem
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Endpoint.Query(ctx, piqlText, requester)
+}
+
+const e21Query = "FOR //patients/row RETURN //sex PURPOSE research MAXLOSS 0.9"
+
+// e21Requesters sizes the requester pool. Large enough that the
+// warehouse (TTL 1) is stale by the time a requester comes around
+// again, so admitted queries do real fan-out work.
+const e21Requesters = 8
+
+func e21System(svc time.Duration, admit *admission.Config, brownout bool) (*mediator.Mediator, *slowEndpoint, error) {
+	g := clinical.NewGenerator(21)
+	cat := relational.NewCatalog()
+	tab, err := g.Patients("patients", 200, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cat.Add(tab); err != nil {
+		return nil, nil, err
+	}
+	pol, err := policy.NewPolicy("hospital", policy.Deny,
+		policy.Rule{Item: "//patients/row/sex", Purpose: "any", Form: policy.Exact, Effect: policy.Allow, MaxLoss: 0.9},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := source.New(source.Config{Name: "hospital", Catalog: cat, Policy: pol, Seed: 21})
+	if err != nil {
+		return nil, nil, err
+	}
+	local, err := source.NewLocal(src, []byte("e21"), psi.TestGroup())
+	if err != nil {
+		return nil, nil, err
+	}
+	slow := newSlowEndpoint(local, svc)
+	med, err := mediator.New(mediator.Config{
+		Endpoints:         []source.Endpoint{slow},
+		WarehouseCapacity: 64,
+		WarehouseTTL:      1,
+		PlanCache:         256,
+		Admission:         admit,
+		Brownout:          brownout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return med, slow, nil
+}
+
+// e21Cell is the outcome of one open-loop run at one load multiplier.
+type e21Cell struct {
+	offered float64 // arrival rate, queries/sec
+	goodput float64 // deadline-met answers/sec (stale brownout answers count)
+	p99     time.Duration
+	timely  int // fresh answers within the deadline
+	stale   int // brownout answers within the deadline
+	shed    int
+	failed  int   // deadline misses and late completions
+	wasted  int64 // service slots burned without a timely fresh answer
+}
+
+// e21Run offers `total` queries open-loop at `mult` times the backend's
+// capacity (1/svc) and classifies every response. Open-loop means the
+// generator does not slow down when the system does — the defining
+// property of overload.
+func e21Run(med *mediator.Mediator, slow *slowEndpoint, svc, deadline time.Duration, mult float64, total int) e21Cell {
+	interval := time.Duration(float64(svc) / mult)
+	type outcome struct {
+		lat   time.Duration
+		fresh bool // timely, from a live fan-out
+		stale bool // timely, browned out from the warehouse
+		shed  bool
+	}
+	outcomes := make([]outcome, total)
+	workBefore := slow.work.Load()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			t0 := time.Now()
+			out, err := med.QueryContext(ctx, e21Query, fmt.Sprintf("analyst-%d", i%e21Requesters))
+			lat := time.Since(t0)
+			o := outcome{lat: lat}
+			switch {
+			case err == nil && lat <= deadline:
+				o.fresh = !out.Stale
+				o.stale = out.Stale
+			case admission.IsShed(err):
+				o.shed = true
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Abandoned fan-outs may still be queued on the backend: wait for
+	// the burned-work counter to settle before reading it.
+	for prev := int64(-1); ; {
+		cur := slow.work.Load()
+		if cur == prev {
+			break
+		}
+		prev = cur
+		time.Sleep(2 * svc)
+	}
+
+	var c e21Cell
+	c.offered = float64(time.Second) / float64(interval)
+	var lats []time.Duration
+	usefulWork := int64(0)
+	for _, o := range outcomes {
+		switch {
+		case o.fresh:
+			c.timely++
+			usefulWork++
+		case o.stale:
+			c.stale++
+		case o.shed:
+			c.shed++
+		default:
+			c.failed++
+		}
+		if !o.shed {
+			lats = append(lats, o.lat)
+		}
+	}
+	c.goodput = float64(c.timely+c.stale) / elapsed.Seconds()
+	c.wasted = slow.work.Load() - workBefore - usefulWork
+	if c.wasted < 0 {
+		// A fresh answer served from a still-warm warehouse entry burned
+		// no slot; never report negative waste.
+		c.wasted = 0
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		c.p99 = lats[(len(lats)*99)/100]
+	}
+	return c
+}
+
+// E21AdmissionOverload sweeps an open-loop load from below to far past
+// the backend's capacity and compares three protection modes: no
+// admission control, admission with load shedding, and shedding plus
+// brownout (overload answered from the stale warehouse). The backend is
+// a single worker with a fixed service time, so capacity is exactly
+// 1/svc and the multipliers are meaningful. Per-query deadlines model
+// callers that stop waiting; "wasted" counts service slots the backend
+// burned without producing a timely fresh answer.
+func E21AdmissionOverload(svc time.Duration, totalPerCell int) (*Table, error) {
+	if svc <= 0 {
+		svc = 4 * time.Millisecond
+	}
+	if totalPerCell <= 0 {
+		totalPerCell = 160
+	}
+	deadline := 16 * svc
+	admitCfg := func() *admission.Config {
+		return &admission.Config{
+			MaxConcurrent: 4,
+			MinConcurrent: 1,
+			QueueCapacity: 4,
+			LatencyTarget: 4 * svc,
+		}
+	}
+	modes := []struct {
+		name     string
+		admit    func() *admission.Config
+		brownout bool
+	}{
+		{"no admission", func() *admission.Config { return nil }, false},
+		{"shed", admitCfg, false},
+		{"shed+brownout", admitCfg, true},
+	}
+	loads := []float64{0.5, 1, 2, 4}
+
+	t := &Table{
+		Title: "E21: open-loop overload, admission control and brownout",
+		Header: []string{"mode", "load", "offered q/s", "goodput q/s", "vs 1x",
+			"p99", "fresh", "stale", "shed", "failed", "wasted"},
+	}
+	for _, mode := range modes {
+		// A fresh system per mode: AIMD state, warehouse contents and
+		// the backend's work counter must not leak across modes.
+		med, slow, err := e21System(svc, mode.admit(), mode.brownout)
+		if err != nil {
+			return nil, err
+		}
+		// Prime every requester once, unloaded: warms the plan cache in
+		// all modes and materializes the warehouse entries brownout
+		// serves from. Identical priming keeps the comparison fair.
+		for i := 0; i < e21Requesters; i++ {
+			if _, err := med.Query(e21Query, fmt.Sprintf("analyst-%d", i)); err != nil {
+				return nil, fmt.Errorf("priming %s: %w", mode.name, err)
+			}
+		}
+		var at1x float64
+		for _, mult := range loads {
+			c := e21Run(med, slow, svc, deadline, mult, totalPerCell)
+			if mult == 1 {
+				at1x = c.goodput
+			}
+			vs1x := "-"
+			if mult > 1 && at1x > 0 {
+				vs1x = fmt.Sprintf("%.0f%%", c.goodput/at1x*100)
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.name, fmt.Sprintf("%.1fx", mult),
+				fmt.Sprintf("%.0f", c.offered), fmt.Sprintf("%.0f", c.goodput), vs1x,
+				c.p99.Round(100 * time.Microsecond).String(),
+				fmt.Sprintf("%d", c.timely), fmt.Sprintf("%d", c.stale),
+				fmt.Sprintf("%d", c.shed), fmt.Sprintf("%d", c.failed),
+				fmt.Sprintf("%d", c.wasted),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("backend: 1 worker, %v service time (capacity %.0f q/s); deadline %v/query; %d queries/cell, %d-requester pool",
+			svc, float64(time.Second)/float64(svc), deadline, totalPerCell, e21Requesters),
+		"admission: AIMD concurrency limit (ceiling 4, floor 1, latency target 4x service), queue 4, deadline-aware shedding",
+		"goodput counts answers inside the deadline (stale brownout answers included); wasted counts backend slots burned without one",
+		"no admission degrades open-loop: the backlog grows without bound, p99 with it, and late work is all wasted",
+	)
+	return t, nil
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableString(t *testing.T) {
@@ -270,5 +272,40 @@ func TestE19(t *testing.T) {
 	}
 	if !sawCacheHit {
 		t.Error("no plan-cache hit row")
+	}
+}
+
+func TestE21(t *testing.T) {
+	// Tiny open-loop run: the test pins the table's structure and the
+	// classification invariants, not the (timing-dependent) numbers.
+	const total = 24
+	tab, err := E21AdmissionOverload(time.Millisecond, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (3 modes x 4 loads)", len(tab.Rows))
+	}
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("not a count: %q", s)
+		}
+		return n
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		// fresh + stale + shed + failed must account for every query.
+		if got := atoi(row[6]) + atoi(row[7]) + atoi(row[8]) + atoi(row[9]); got != total {
+			t.Errorf("%s %s: outcomes sum to %d, want %d", row[0], row[1], got, total)
+		}
+		if row[0] == "no admission" && atoi(row[8]) != 0 {
+			t.Errorf("no-admission mode shed %s queries", row[8])
+		}
+		if row[0] != "shed+brownout" && atoi(row[7]) != 0 {
+			t.Errorf("%s served %s stale answers without brownout", row[0], row[7])
+		}
 	}
 }

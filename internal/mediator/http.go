@@ -8,6 +8,7 @@ import (
 
 	"privateiye/internal/obs"
 	"privateiye/internal/piql"
+	"privateiye/internal/source"
 	"privateiye/internal/xmltree"
 )
 
@@ -23,6 +24,11 @@ func IntegratedToNode(in *Integrated) *xmltree.Node {
 		SetAttr("duplicates", strconv.Itoa(in.Duplicates)).
 		SetAttr("loss", strconv.FormatFloat(in.AggregatedLoss, 'g', -1, 64)).
 		SetAttr("warehouse", strconv.FormatBool(in.FromWarehouse))
+	if in.Stale {
+		// Only brownout answers carry the marker: absence means fresh.
+		root.SetAttr("stale", "true").
+			SetAttr("stale-age", strconv.FormatInt(in.StaleAge, 10))
+	}
 	for _, s := range in.Answered {
 		root.Append(xmltree.NewText("answered", s))
 	}
@@ -47,6 +53,12 @@ func IntegratedFromNode(n *xmltree.Node) (*Integrated, error) {
 	}
 	if v, ok := n.Attr("warehouse"); ok {
 		out.FromWarehouse = v == "true"
+	}
+	if v, ok := n.Attr("stale"); ok {
+		out.Stale = v == "true"
+	}
+	if v, ok := n.Attr("stale-age"); ok {
+		out.StaleAge, _ = strconv.ParseInt(v, 10, 64)
 	}
 	for _, a := range n.ChildrenNamed("answered") {
 		out.Answered = append(out.Answered, a.Text)
@@ -89,6 +101,11 @@ func NewHandler(m *Mediator) http.Handler {
 		}
 		in, err := m.QueryContext(r.Context(), string(body), requester)
 		if err != nil {
+			// Admission sheds are 429/503 with Retry-After so clients
+			// can distinguish "back off" from "forbidden".
+			if source.WriteShed(w, err) {
+				return
+			}
 			http.Error(w, err.Error(), http.StatusForbidden)
 			return
 		}

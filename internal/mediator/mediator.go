@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"privateiye/internal/admission"
 	"privateiye/internal/linkage"
 	"privateiye/internal/obs"
 	"privateiye/internal/parallel"
@@ -89,6 +90,21 @@ type Config struct {
 	// instrumentation cost beyond one nil check per stage.
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+	// Admission, when non-nil and enabled, gates QueryContext with an
+	// admission controller: per-requester rate limiting, adaptive
+	// (AIMD) concurrency limiting with a hard ceiling, and a deadline-
+	// aware bounded queue that sheds requests whose estimated wait
+	// exceeds the caller's remaining deadline. Sheds surface as
+	// *admission.ShedError (HTTP 429/503 with Retry-After), classified
+	// as refusal.Overloaded / refusal.RateLimited — never as privacy
+	// refusals.
+	Admission *admission.Config
+	// Brownout degrades overload sheds gracefully: instead of failing
+	// an Overloaded shed, the mediator answers from the warehouse even
+	// past TTL, marking the response Stale. Rate-limit sheds are never
+	// browned out (the point of the token bucket is to make the greedy
+	// requester slow down). Requires a warehouse to have any effect.
+	Brownout bool
 }
 
 // Mediator is a running mediation engine.
@@ -97,6 +113,7 @@ type Mediator struct {
 	matcher *schemamatch.Matcher
 	plans   *qcache.Cache // parse cache; nil when disabled
 	obs     *medObs       // metric handles; nil when uninstrumented
+	admit   *admission.Controller // nil = admit everything
 
 	mu              sync.RWMutex
 	schema          *xmltree.Summary            // mediated schema (merged partial summaries)
@@ -180,6 +197,14 @@ func New(cfg Config) (*Mediator, error) {
 		names[i] = ep.Name()
 	}
 	m.obs = newMedObs(cfg.Obs, cfg.Trace, names)
+	if cfg.Admission != nil {
+		ctl, err := admission.New(*cfg.Admission)
+		if err != nil {
+			return nil, fmt.Errorf("mediator: %w", err)
+		}
+		m.admit = ctl
+		ctl.Register(cfg.Obs, "mediator")
+	}
 	if cfg.Obs != nil {
 		// Bridge counters the subsystems already keep, sampled at scrape
 		// time; the closures capture m, which outlives the registry's
@@ -334,6 +359,12 @@ type Integrated struct {
 	AggregatedLoss float64
 	// FromWarehouse reports a materialized answer.
 	FromWarehouse bool
+	// Stale reports a brownout answer: the mediator was shedding load
+	// and served a warehouse materialization past its TTL instead of
+	// fanning out. StaleAge is its age in warehouse ticks. Callers that
+	// cannot tolerate staleness should retry after the overload clears.
+	Stale    bool
+	StaleAge int64
 }
 
 // Query runs the full mediation pipeline with a background context; see
@@ -377,10 +408,61 @@ func (m *Mediator) denialReason(err error) string {
 func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string) (*Integrated, error) {
 	t0 := time.Now()
 	trace := m.obs.startTrace(requester, piqlText)
+	grant, err := m.admit.Acquire(ctx, requester)
+	if err != nil {
+		var sh *admission.ShedError
+		if errors.As(err, &sh) {
+			sh.Scope = "mediator"
+			// Brownout: an Overloaded shed may still be answered from
+			// the warehouse, staleness allowed and marked. Rate-limit
+			// sheds always fail — serving the greedy requester stale
+			// data would defeat the throttle.
+			if m.cfg.Brownout && sh.Reason == refusal.Overloaded {
+				if out := m.brownout(piqlText, requester); out != nil {
+					m.obs.finish(trace, t0, out, nil)
+					return out, nil
+				}
+			}
+		}
+		m.obs.finish(trace, t0, nil, err)
+		return nil, err
+	}
 	out, err := m.queryStages(ctx, piqlText, requester, trace)
+	grant.Release(err)
 	m.obs.finish(trace, t0, out, err)
 	return out, err
 }
+
+// brownout serves a shed query from the warehouse regardless of TTL.
+// It costs one parse (usually a plan-cache hit) and one map lookup —
+// nothing that scales with load — and skips history recording: a
+// brownout answer discloses only what an earlier admitted query
+// already disclosed and recorded. Returns nil when no materialization
+// exists, in which case the shed stands.
+func (m *Mediator) brownout(piqlText, requester string) *Integrated {
+	if m.wh == nil {
+		return nil
+	}
+	_, canonical, err := m.parseCached(piqlText)
+	if err != nil {
+		return nil
+	}
+	res, age, ok := m.wh.GetStale(requester + "|" + canonical)
+	if !ok {
+		return nil
+	}
+	return &Integrated{
+		Result:        res,
+		Answered:      []string{"warehouse"},
+		FromWarehouse: true,
+		Stale:         true,
+		StaleAge:      age,
+	}
+}
+
+// AdmissionStats snapshots the admission controller (zero when the
+// mediator runs ungated), for experiments and tests.
+func (m *Mediator) AdmissionStats() admission.Stats { return m.admit.Stats() }
 
 // queryStages is the pipeline body, with one span per stage and one per
 // source call.

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"time"
 
+	"privateiye/internal/admission"
 	"privateiye/internal/obs"
 	"privateiye/internal/refusal"
 	"privateiye/internal/resilience"
@@ -34,6 +35,8 @@ type medObs struct {
 
 	answered  *obs.Counter
 	warehouse *obs.Counter
+	brownout  *obs.Counter
+	shedded   *obs.Counter
 	refused   *obs.Counter
 	latency   *obs.Histogram
 	refusals  map[refusal.Reason]*obs.Counter
@@ -55,6 +58,8 @@ func newMedObs(reg *obs.Registry, tracer *obs.Tracer, sourceNames []string) *med
 		tracer:    tracer,
 		answered:  reg.Counter("piye_mediator_queries_total", "outcome", "answered"),
 		warehouse: reg.Counter("piye_mediator_queries_total", "outcome", "warehouse"),
+		brownout:  reg.Counter("piye_mediator_queries_total", "outcome", "brownout"),
+		shedded:   reg.Counter("piye_mediator_queries_total", "outcome", "shed"),
 		refused:   reg.Counter("piye_mediator_queries_total", "outcome", "refused"),
 		latency:   reg.Histogram("piye_mediator_query_seconds", nil),
 		refusals:  map[refusal.Reason]*obs.Counter{},
@@ -136,10 +141,24 @@ func (o *medObs) finish(trace *obs.Trace, t0 time.Time, out *Integrated, err err
 	o.latency.Observe(time.Since(t0).Seconds())
 	switch {
 	case err != nil:
+		// Admission sheds are capacity decisions, not privacy refusals:
+		// they get their own outcome so overload never inflates the
+		// refusal rate an auditor watches. The reason series
+		// (overloaded/ratelimited) still records why.
 		reason := refusal.Classify(err)
-		o.refused.Inc()
+		if admission.IsShed(err) {
+			o.shedded.Inc()
+		} else {
+			o.refused.Inc()
+		}
 		o.refusals[reason].Inc()
 		trace.Finish(obs.RefusedOutcome(reason.String()))
+	case out != nil && out.Stale:
+		// Brownout answers get their own outcome: they are successes,
+		// but capacity planning must see how often the system is
+		// degraded rather than fresh.
+		o.brownout.Inc()
+		trace.Finish(obs.OutcomeAnswered)
 	case out != nil && out.FromWarehouse:
 		o.warehouse.Inc()
 		trace.Finish(obs.OutcomeAnswered)

@@ -56,6 +56,14 @@ const (
 	// NoSource: no source holds data matching the query, or every
 	// source failed.
 	NoSource Reason = "no-source"
+	// Overloaded: admission control shed the request because the node is
+	// saturated (concurrency limit reached, queue full, or the estimated
+	// queue wait exceeds the caller's remaining deadline). Not a privacy
+	// refusal: the caller may retry after backing off.
+	Overloaded Reason = "overloaded"
+	// RateLimited: the per-requester token bucket refused the request.
+	// Not a privacy refusal: the caller may retry after Retry-After.
+	RateLimited Reason = "ratelimited"
 	// Other: an error outside the closed vocabulary (transport faults,
 	// internal errors). A growing "other" count is a signal to look at
 	// the traces, not to mint labels.
@@ -72,7 +80,7 @@ func All() []Reason {
 		Timeout, Canceled, BreakerOpen, Policy,
 		AuditSetSize, AuditOverlap, AuditCompromise,
 		LedgerCombination, Unrecordable, LossBudget,
-		Parse, NoSource, Other,
+		Parse, NoSource, Overloaded, RateLimited, Other,
 	}
 }
 
@@ -133,6 +141,10 @@ func ClassifyString(s string) Reason {
 		return Parse
 	case strings.Contains(s, "no source holds data") || strings.Contains(s, "every source refused"):
 		return NoSource
+	case strings.Contains(s, "rate limit"):
+		return RateLimited
+	case strings.Contains(s, "overloaded"):
+		return Overloaded
 	default:
 		return Other
 	}

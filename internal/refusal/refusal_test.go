@@ -67,6 +67,11 @@ func TestClassifyString(t *testing.T) {
 		{"source: bad query: piql: unterminated string at offset 12", Parse},
 		{"mediator: no source holds data matching //nothing", NoSource},
 		{"mediator: every source refused: a: down; b: down", NoSource},
+		// admission control (shed, not a privacy refusal).
+		{"mediator: overloaded: 4 queries in flight at limit 4, queue full", Overloaded},
+		{"source hospitalA: 503 Service Unavailable: source hospitalA: overloaded: estimated queue wait 120ms exceeds remaining deadline 50ms", Overloaded},
+		{"mediator: rate limit exceeded for requester drWho: retry after 1s", RateLimited},
+		{"source lab: 429 Too Many Requests: source lab: rate limit exceeded for requester drWho", RateLimited},
 		// HTTP 503 from a dead node: transport noise, not a known reason.
 		{"source hospitalC: 503 Service Unavailable: upstream reset", Other},
 	}
@@ -85,7 +90,7 @@ func TestAllCoversEveryReasonOnce(t *testing.T) {
 		}
 		seen[r] = true
 	}
-	if len(seen) != 13 {
+	if len(seen) != 15 {
 		t.Fatalf("All() lists %d reasons; update the test when the vocabulary deliberately grows", len(seen))
 	}
 }

@@ -122,11 +122,18 @@ func (b *Breaker) notify(from, to breakerState) {
 }
 
 // Report records the outcome of an allowed call. A canceled context says
-// nothing about the source's health and is ignored; any other error
-// counts as a failure (deadline overruns included — a hanging source is
-// a failing source).
+// nothing about the source's health and is ignored, and so is a load
+// shed (an error exposing `Shed() bool` true, e.g. admission.ShedError
+// or a 429/503 from a saturated node): a shedding source is alive and
+// answering fast, and opening the circuit on sheds would turn its
+// brownout into a blackout. Any other error counts as a failure
+// (deadline overruns included — a hanging source is a failing source).
 func (b *Breaker) Report(err error) {
 	if errors.Is(err, context.Canceled) {
+		return
+	}
+	var sh interface{ Shed() bool }
+	if errors.As(err, &sh) && sh.Shed() {
 		return
 	}
 	b.mu.Lock()

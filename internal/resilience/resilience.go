@@ -134,7 +134,17 @@ func Do[T any](ctx context.Context, p Policy, op func(context.Context) (T, error
 		if ctx.Err() != nil || attempt >= p.MaxAttempts || !p.retryable(err) {
 			return zero, err
 		}
-		if serr := sleep(ctx, p.Backoff(attempt)); serr != nil {
+		delay := p.Backoff(attempt)
+		// A server that said Retry-After knows its own backlog better
+		// than our exponential schedule does; never retry sooner than it
+		// asked (retrying into a throttle just burns its admission queue).
+		var ra interface{ RetryAfterHint() (time.Duration, bool) }
+		if errors.As(err, &ra) {
+			if hint, ok := ra.RetryAfterHint(); ok && hint > delay {
+				delay = hint
+			}
+		}
+		if serr := sleep(ctx, delay); serr != nil {
 			return zero, fmt.Errorf("%w (while backing off from: %v)", serr, err)
 		}
 	}

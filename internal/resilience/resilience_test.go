@@ -198,3 +198,76 @@ func TestBreakerIgnoresCancellation(t *testing.T) {
 		t.Errorf("cancellation is not evidence of source death: state = %s", b.State())
 	}
 }
+
+type shedErr struct{ hint time.Duration }
+
+func (shedErr) Error() string     { return "overloaded: queue full" }
+func (shedErr) Shed() bool        { return true }
+func (shedErr) Retryable() bool   { return true }
+func (e shedErr) RetryAfterHint() (time.Duration, bool) {
+	return e.hint, e.hint > 0
+}
+
+func TestBreakerIgnoresSheds(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1})
+	b.Report(fmt.Errorf("source lab: %w", shedErr{}))
+	if b.State() != "closed" {
+		t.Errorf("a shed is not a failure: state = %s", b.State())
+	}
+	// A shed must not reset the failure streak either: it carries no
+	// evidence of health, only of saturation.
+	b2 := NewBreaker(BreakerConfig{FailureThreshold: 2})
+	b2.Report(errors.New("boom"))
+	b2.Report(shedErr{})
+	b2.Report(errors.New("boom"))
+	if b2.State() != "open" {
+		t.Errorf("failure streak interrupted by a shed: state = %s", b2.State())
+	}
+}
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	// Backoff would be ~1ms; the server's hint is 80ms. The second
+	// attempt must not start before the hint elapses.
+	var first time.Time
+	var gap time.Duration
+	calls := 0
+	err := fastPolicy(2).Do(bg, func(context.Context) error {
+		calls++
+		if calls == 1 {
+			first = time.Now()
+			return shedErr{hint: 80 * time.Millisecond}
+		}
+		gap = time.Since(first)
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if gap < 80*time.Millisecond {
+		t.Errorf("retried after %v, server asked for 80ms", gap)
+	}
+}
+
+func TestDoIgnoresShorterRetryAfterHint(t *testing.T) {
+	// A hint below the computed backoff must not shorten the sleep:
+	// the schedule is the floor, the hint only raises it.
+	p := Policy{MaxAttempts: 2, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	var first time.Time
+	var gap time.Duration
+	calls := 0
+	err := p.Do(bg, func(context.Context) error {
+		calls++
+		if calls == 1 {
+			first = time.Now()
+			return shedErr{hint: time.Millisecond}
+		}
+		gap = time.Since(first)
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if gap < 25*time.Millisecond { // jittered backoff floor is d/2
+		t.Errorf("retried after %v, backoff floor is 25ms", gap)
+	}
+}

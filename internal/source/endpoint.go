@@ -104,7 +104,7 @@ func (l *Local) Query(ctx context.Context, piqlText, requester string) (*xmltree
 	if err != nil {
 		return nil, fmt.Errorf("source: bad query: %w", err)
 	}
-	ans, err := l.Src.Execute(q, requester)
+	ans, err := l.Src.ExecuteContext(ctx, q, requester)
 	if err != nil {
 		return nil, err
 	}

@@ -2,13 +2,17 @@ package source
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"privateiye/internal/admission"
 	"privateiye/internal/linkage"
 	"privateiye/internal/obs"
 	"privateiye/internal/policy"
@@ -68,6 +72,11 @@ func NewHandler(l *Local) http.Handler {
 		}
 		node, err := l.Query(r.Context(), string(body), requester)
 		if err != nil {
+			// Admission sheds are 429/503 with Retry-After — the caller
+			// should back off, not conclude it was forbidden.
+			if WriteShed(w, err) {
+				return
+			}
 			// Policy denials and audit refusals are forbidden, not broken.
 			fail(w, http.StatusForbidden, err)
 			return
@@ -147,6 +156,37 @@ func readNode(r io.Reader) (*xmltree.Node, error) {
 	return xmltree.Parse(io.LimitReader(r, 16<<20))
 }
 
+// WriteShed writes a load-shed error as 429/503 with a Retry-After
+// header and reports whether it did. Non-shed errors are left to the
+// caller's normal error mapping. Shared by the source and mediator
+// handlers so both daemons speak the same overload dialect.
+func WriteShed(w http.ResponseWriter, err error) bool {
+	var sh *admission.ShedError
+	if !errors.As(err, &sh) {
+		return false
+	}
+	secs := int(math.Ceil(sh.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, err.Error(), sh.HTTPStatus())
+	return true
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form (the
+// form this repo emits; the HTTP-date form is ignored).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // defaultTransport backs every default client. The stock
 // http.DefaultTransport keeps only 2 idle connections per host
 // (DefaultMaxIdleConnsPerHost), so a mediator fanning a query stream out
@@ -179,11 +219,15 @@ var defaultHTTPClient = &http.Client{
 // HTTPError is a non-200 response from a source node. It implements the
 // optional Retryable interface the resilience layer looks for: server
 // errors and throttling are transient, everything else (policy denials,
-// bad requests) is permanent and must not be retried.
+// bad requests, unimplemented endpoints) is permanent and must not be
+// retried.
 type HTTPError struct {
 	Source string
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint on 429/503 responses
+	// (zero when the header was absent or unparsable).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -191,9 +235,28 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("source %s: %d %s: %s", e.Source, e.Status, http.StatusText(e.Status), e.Msg)
 }
 
-// Retryable reports whether retrying the call could help.
+// Retryable reports whether retrying the call could help. 501 Not
+// Implemented is permanent: the node will not grow the endpoint between
+// attempts.
 func (e *HTTPError) Retryable() bool {
-	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+	return (e.Status >= 500 && e.Status != http.StatusNotImplemented) ||
+		e.Status == http.StatusTooManyRequests
+}
+
+// Shed reports whether the response was load shedding (throttling or
+// saturation) rather than a failure: the circuit breaker ignores sheds,
+// because a node answering 429/503 promptly is alive, not down.
+func (e *HTTPError) Shed() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// RetryAfterHint implements the resilience layer's pacing interface:
+// the retry loop never sleeps less than the server asked for.
+func (e *HTTPError) RetryAfterHint() (time.Duration, bool) {
+	if e.RetryAfter > 0 {
+		return e.RetryAfter, true
+	}
+	return 0, false
 }
 
 // Client is an Endpoint over HTTP.
@@ -257,9 +320,10 @@ func (c *Client) do(req *http.Request) (*xmltree.Node, error) {
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, &HTTPError{
-			Source: c.SourceName,
-			Status: resp.StatusCode,
-			Msg:    strings.TrimSpace(string(msg)),
+			Source:     c.SourceName,
+			Status:     resp.StatusCode,
+			Msg:        strings.TrimSpace(string(msg)),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
 	}
 	return readNode(resp.Body)

@@ -1,0 +1,111 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"privateiye/internal/admission"
+	"privateiye/internal/refusal"
+)
+
+func TestHTTPErrorRetryClassification(t *testing.T) {
+	cases := []struct {
+		status    int
+		retryable bool
+		shed      bool
+	}{
+		{http.StatusInternalServerError, true, false},
+		{http.StatusBadGateway, true, false},
+		{http.StatusServiceUnavailable, true, true},
+		{http.StatusTooManyRequests, true, true},
+		// 501 is permanent: the node will not grow the endpoint
+		// between attempts.
+		{http.StatusNotImplemented, false, false},
+		{http.StatusForbidden, false, false},
+		{http.StatusBadRequest, false, false},
+	}
+	for _, c := range cases {
+		e := &HTTPError{Source: "s", Status: c.status}
+		if e.Retryable() != c.retryable {
+			t.Errorf("status %d: Retryable = %v, want %v", c.status, e.Retryable(), c.retryable)
+		}
+		if e.Shed() != c.shed {
+			t.Errorf("status %d: Shed = %v, want %v", c.status, e.Shed(), c.shed)
+		}
+	}
+}
+
+func TestHTTPErrorRetryAfterHint(t *testing.T) {
+	e := &HTTPError{Status: 429, RetryAfter: 2 * time.Second}
+	if hint, ok := e.RetryAfterHint(); !ok || hint != 2*time.Second {
+		t.Fatalf("hint = %v %v", hint, ok)
+	}
+	if _, ok := (&HTTPError{Status: 429}).RetryAfterHint(); ok {
+		t.Fatal("absent header must yield no hint")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{" 10 ", 10 * time.Second},
+		{"-1", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0}, // HTTP-date form unsupported
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClientSurfacesRetryAfterAndShed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "mediator: overloaded: queue full", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, "busy")
+	_, err := c.Query(context.Background(), "FOR $p IN //x RETURN $p", "alice")
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v, want HTTPError", err)
+	}
+	if he.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v", he.RetryAfter)
+	}
+	if !he.Shed() || !he.Retryable() {
+		t.Fatalf("503 should read as a retryable shed: %+v", he)
+	}
+	// The shed reason survives the wire: only the message crossed.
+	if got := refusal.Classify(err); got != refusal.Overloaded {
+		t.Fatalf("Classify = %v", got)
+	}
+}
+
+func TestWriteShed(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sh := &admission.ShedError{Reason: refusal.RateLimited, Requester: "alice", RetryAfter: 1500 * time.Millisecond}
+	if !WriteShed(rec, sh) {
+		t.Fatal("shed not recognized")
+	}
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" { // 1.5s rounds up
+		t.Fatalf("Retry-After = %q", got)
+	}
+	// Non-shed errors are left alone.
+	if WriteShed(httptest.NewRecorder(), errors.New("policy denial")) {
+		t.Fatal("plain error treated as shed")
+	}
+}

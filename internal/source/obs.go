@@ -26,6 +26,7 @@ type srcObs struct {
 
 	answered *obs.Counter
 	refused  *obs.Counter
+	shedded  *obs.Counter
 	latency  *obs.Histogram
 	refusals map[refusal.Reason]*obs.Counter
 	stages   map[string]*obs.Histogram
@@ -43,6 +44,7 @@ func newSrcObs(name string, reg *obs.Registry, tracer *obs.Tracer) *srcObs {
 		tracer:   tracer,
 		answered: reg.Counter("piye_source_queries_total", "source", name, "outcome", "answered"),
 		refused:  reg.Counter("piye_source_queries_total", "source", name, "outcome", "refused"),
+		shedded:  reg.Counter("piye_source_queries_total", "source", name, "outcome", "shed"),
 		latency:  reg.Histogram("piye_source_query_seconds", nil, "source", name),
 		refusals: map[refusal.Reason]*obs.Counter{},
 		stages:   map[string]*obs.Histogram{},
@@ -105,6 +107,23 @@ func (o *srcObs) finish(trace *obs.Trace, t0 time.Time, err error) {
 	o.refused.Inc()
 	o.refusals[reason].Inc()
 	trace.Finish(obs.RefusedOutcome(reason.String()))
+}
+
+// shed records a load shed at the admission gate. The query never
+// entered the pipeline, but the outcome must still be visible — and
+// distinguishable from privacy refusals — in both metrics (its own
+// outcome label, plus the overloaded/ratelimited reason series) and
+// traces.
+func (o *srcObs) shed(requester string, q *piql.Query, err error) {
+	if o == nil {
+		return
+	}
+	reason := refusal.Classify(err)
+	o.shedded.Inc()
+	o.refusals[reason].Inc()
+	if o.tracer != nil {
+		o.tracer.Start(requester, q.String()).Finish(obs.RefusedOutcome(reason.String()))
+	}
 }
 
 // spanOutcome renders a stage error as a span outcome, reusing the

@@ -1,6 +1,8 @@
 package source
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,6 +10,7 @@ import (
 	"time"
 
 	"privateiye/internal/accesscontrol"
+	"privateiye/internal/admission"
 	"privateiye/internal/audit"
 	"privateiye/internal/cluster"
 	"privateiye/internal/obs"
@@ -68,6 +71,13 @@ type Config struct {
 	// cost beyond one nil check per stage.
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+	// Admission, when non-nil and enabled, gates ExecuteContext with a
+	// per-source admission controller: per-requester rate limiting,
+	// adaptive (AIMD) concurrency limiting and deadline-aware queueing.
+	// Sheds surface as *admission.ShedError (429/503 over HTTP), which
+	// the mediator's breaker and retry policy treat as "alive but busy",
+	// never as a source failure.
+	Admission *admission.Config
 }
 
 // Source is a running remote source.
@@ -79,6 +89,7 @@ type Source struct {
 	summary  *xmltree.Summary // full (unredacted) structural summary
 	plans    *qcache.Cache    // parse/plan cache; nil when disabled
 	obs      *srcObs          // metric handles; nil when uninstrumented
+	admit    *admission.Controller // nil = admit everything
 
 	mu    sync.RWMutex
 	prefs []*policy.Policy // registered data-subject preferences
@@ -151,6 +162,14 @@ func New(cfg Config) (*Source, error) {
 	s.resolver = s.matcher.ResolverFor(s.summary.LeafNames())
 	s.prefs = append(s.prefs, cfg.Preferences...)
 	s.obs = newSrcObs(cfg.Name, cfg.Obs, cfg.Trace)
+	if cfg.Admission != nil {
+		ctl, err := admission.New(*cfg.Admission)
+		if err != nil {
+			return nil, fmt.Errorf("source %s: %w", cfg.Name, err)
+		}
+		s.admit = ctl
+		ctl.Register(cfg.Obs, "source:"+cfg.Name)
+	}
 	if cfg.Obs != nil {
 		scope := "source:" + cfg.Name
 		cfg.Obs.Help("piye_plan_cache_hits_total", "Plan/parse cache hits.")
@@ -367,6 +386,35 @@ func (s *Source) Execute(q *piql.Query, requester string) (*Answer, error) {
 	s.obs.finish(trace, t0, err)
 	return ans, err
 }
+
+// ExecuteContext is Execute behind the admission gate: the request is
+// rate-limited per requester, counted against the adaptive concurrency
+// limit, and queued only while the estimated wait fits the context's
+// remaining deadline. Without an Admission config it is exactly
+// Execute. The context bounds only the wait for admission — the
+// pipeline itself is synchronous CPU work and runs to completion once
+// admitted (its duration feeds the AIMD limit).
+func (s *Source) ExecuteContext(ctx context.Context, q *piql.Query, requester string) (*Answer, error) {
+	if s.admit == nil {
+		return s.Execute(q, requester)
+	}
+	grant, err := s.admit.Acquire(ctx, requester)
+	if err != nil {
+		var sh *admission.ShedError
+		if errors.As(err, &sh) {
+			sh.Scope = "source " + s.cfg.Name
+			s.obs.shed(requester, q, sh)
+		}
+		return nil, err
+	}
+	ans, err := s.Execute(q, requester)
+	grant.Release(err)
+	return ans, err
+}
+
+// AdmissionStats snapshots the admission controller (zero when the
+// source runs ungated), for experiments and tests.
+func (s *Source) AdmissionStats() admission.Stats { return s.admit.Stats() }
 
 // executeStages is the pipeline body, with one span per stage.
 func (s *Source) executeStages(q *piql.Query, requester string, trace *obs.Trace) (*Answer, error) {

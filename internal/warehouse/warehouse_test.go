@@ -57,8 +57,22 @@ func TestTTLExpiry(t *testing.T) {
 	if _, ok := w.Get("k"); ok {
 		t.Error("entry should expire at age 3")
 	}
-	if _, _, size := w.Stats(); size != 0 {
-		t.Error("expired entry should be dropped")
+	// Stale entries stay resident (LRU evicts them eventually) so
+	// brownout's GetStale can still serve them.
+	if _, _, size := w.Stats(); size != 1 {
+		t.Error("expired entry should stay for GetStale")
+	}
+	r, age, ok := w.GetStale("k")
+	if !ok || r == nil || age != 3 {
+		t.Errorf("GetStale = %v age=%d ok=%v, want age 3", r, age, ok)
+	}
+	if _, _, ok := w.GetStale("absent"); ok {
+		t.Error("GetStale must miss on absent keys")
+	}
+	// GetStale leaves hit/miss stats untouched.
+	hits, misses, _ := w.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", hits, misses)
 	}
 }
 
