@@ -1,6 +1,6 @@
 // Command piye-bench runs the PRIVATE-IYE experiment harness: every table
 // and figure of EXPERIMENTS.md, printed as aligned text tables. E1–E4
-// regenerate the paper's Figure 1; E5–E21 measure the architecture's
+// regenerate the paper's Figure 1; E5–E22 measure the architecture's
 // design choices.
 //
 // Usage:
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E21)")
+	only := flag.String("only", "", "run only the named experiment (E1..E22)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	guard := flag.String("guard", "", "compare the perf-guard metrics against this baseline JSON and exit 1 on regression")
 	updateBaseline := flag.String("update-baseline", "", "measure the perf-guard metrics and write them to this baseline JSON")
@@ -149,6 +149,13 @@ func main() {
 				svc, total = 2*time.Millisecond, 60
 			}
 			return experiments.E21AdmissionOverload(svc, total)
+		})},
+		{"E22", wrap(func() (*experiments.Table, error) {
+			total := 200
+			if *quick {
+				total = 60
+			}
+			return experiments.E22ReplicationFailover(total)
 		})},
 	}
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -74,6 +75,10 @@ func main() {
 	admitRate := flag.Float64("admit-rate", 0, "per-requester token-bucket refill in queries/sec; excess answers 429 (0 = no rate limit)")
 	admitBurst := flag.Float64("admit-burst", 0, "per-requester token-bucket burst capacity (0 = max(rate, 1))")
 	admitBrownout := flag.Bool("admit-brownout", false, "answer overload sheds from the warehouse, staleness allowed and marked stale (needs -warehouse)")
+	replicaOf := flag.String("replica-of", "", "run as a warm standby of the primary mediator at this base URL (needs -state-dir); promote via POST /replica/promote or SIGUSR1")
+	epochDir := flag.String("epoch-dir", "", "directory persisting the fencing epoch (default: -state-dir)")
+	replicaLagMax := flag.Uint64("replica-lag-max", 0, "records of replication lag a standby tolerates while still reporting ready")
+	replicaHeartbeat := flag.Duration("replica-heartbeat", 0, "replication stream keepalive period (0 = default 500ms)")
 	flag.Parse()
 
 	if *salt == defaultSalt {
@@ -106,6 +111,23 @@ func main() {
 		dur = &mediator.DurabilityConfig{Dir: *stateDir, Fsync: policy, SnapshotEvery: *snapEvery}
 	} else {
 		log.Print("piye-mediator: WARNING: no -state-dir; the release ledger and query history are in-memory only, and a restart resets the combination controls (restart-amnesia)")
+	}
+	// The replication surface rides along with durability: a durable
+	// primary must serve /replica/stream (standbys tail it) and
+	// /replica/fence (a promoted successor deposes it), so -state-dir
+	// alone enables it in the primary role; -replica-of makes this node
+	// the standby instead.
+	var rep *mediator.ReplicaConfig
+	if *replicaOf != "" && dur == nil {
+		log.Fatal("piye-mediator: -replica-of requires -state-dir (the replicated log is the durable state)")
+	}
+	if dur != nil {
+		rep = &mediator.ReplicaConfig{
+			PrimaryURL: strings.TrimRight(*replicaOf, "/"),
+			EpochDir:   *epochDir,
+			LagMax:     *replicaLagMax,
+			Heartbeat:  *replicaHeartbeat,
+		}
 	}
 	var admit *admission.Config
 	if *admitMax > 0 || *admitRate > 0 {
@@ -146,6 +168,7 @@ func main() {
 		Trace:             tracer,
 		Admission:         admit,
 		Brownout:          *admitBrownout,
+		Replica:           rep,
 	})
 	if err != nil {
 		log.Fatalf("piye-mediator: %v", err)
@@ -155,6 +178,24 @@ func main() {
 			log.Printf("piye-mediator: closing state: %v", err)
 		}
 	}()
+	if rep != nil {
+		st := med.ReplicationStatus()
+		log.Printf("piye-mediator replication: role %s, epoch %d (promote with POST /replica/promote or SIGUSR1)", st.Role, st.Epoch)
+		// SIGUSR1 promotes a standby without needing the HTTP surface —
+		// the operator's big red button when the primary is gone.
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				epoch, err := med.Promote()
+				if err != nil {
+					log.Printf("piye-mediator: SIGUSR1 promotion failed: %v", err)
+					continue
+				}
+				log.Printf("piye-mediator: promoted to primary at epoch %d", epoch)
+			}
+		}()
+	}
 	log.Printf("piye-mediator serving %d sources on %s (schema: %d paths)",
 		len(eps), *addr, med.MediatedSchema().Len())
 

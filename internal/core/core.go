@@ -92,6 +92,10 @@ type SystemConfig struct {
 	// SourceAdmission, when non-nil, gates every in-process source's
 	// execute path that does not configure its own admission.
 	SourceAdmission *admission.Config
+	// Replica, when non-nil, replicates the mediator's durable log
+	// to/from a peer mediator and arbitrates failover with a persisted
+	// fencing epoch (see mediator.ReplicaConfig). Requires StateDir.
+	Replica *mediator.ReplicaConfig
 	// Obs, when non-nil, collects metrics from the mediator and every
 	// in-process source into one registry (see internal/obs).
 	Obs *obs.Registry
@@ -183,6 +187,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Trace:             cfg.Trace,
 		Admission:         cfg.Admission,
 		Brownout:          cfg.Brownout,
+		Replica:           cfg.Replica,
 	})
 	if err != nil {
 		return nil, err

@@ -131,13 +131,19 @@ type Log struct {
 	seq      uint64   // last assigned sequence number
 	snapSeq  uint64   // sequence covered by the installed snapshot
 	snapshot []byte   // recovered snapshot payload (nil if none)
-	entries  []Entry  // recovered entries with seq > snapSeq
-	walSize  int64    // bytes written to the WAL file
-	snapSize int64
-	appends  int // appends since open or last snapshot
-	deadErr  error
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	// entries is the live tail: every record with seq > snapSeq, kept in
+	// memory so a replication stream can ship it without re-reading the
+	// WAL file. Recovery seeds it; Append extends it; SaveSnapshot clears
+	// it (the snapshot subsumes the tail).
+	entries    []Entry
+	walSize    int64 // bytes written to the WAL file
+	snapSize   int64
+	appends    int  // appends since open or last snapshot
+	legacySnap bool // recovered snapshot lacked the integrity trailer
+	deadErr    error
+	changed    chan struct{} // closed and replaced on every append/snapshot
+	stop       chan struct{}
+	wg         sync.WaitGroup
 
 	// Pre-resolved metric handles; nil (no-op) without Options.Obs.
 	mAppends *obs.Counter
@@ -163,7 +169,7 @@ func Open(opts Options) (*Log, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
-	l := &Log{opts: opts}
+	l := &Log{opts: opts, changed: make(chan struct{})}
 	if opts.Obs != nil {
 		scope := opts.ObsScope
 		if scope == "" {
@@ -307,16 +313,42 @@ func (l *Log) Sizes() (wal, snap int64) {
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(l.seq+1, payload)
+}
+
+// AppendEntry appends a record at an exact sequence number — the apply
+// path of a replication standby mirroring its primary's log. The
+// sequence must be contiguous: a gap or duplicate returns ErrSequence
+// (wrapped with both numbers) and appends nothing, which is what forces
+// a diverging standby to resync instead of silently rewriting history.
+func (l *Log) AppendEntry(seq uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.deadErr != nil {
+		return l.deadErr
+	}
+	if seq != l.seq+1 {
+		return fmt.Errorf("%w: got %d, want %d", ErrSequence, seq, l.seq+1)
+	}
+	_, err := l.appendLocked(seq, payload)
+	return err
+}
+
+// appendLocked is the shared append body; seq must be l.seq+1.
+func (l *Log) appendLocked(seq uint64, payload []byte) (uint64, error) {
 	if l.deadErr != nil {
 		return 0, l.deadErr
 	}
-	l.seq++
+	l.seq = seq
 	l.buf = AppendRecord(l.buf, l.seq, payload)
+	l.entries = append(l.entries, Entry{Seq: l.seq, Payload: append([]byte(nil), payload...)})
 	l.appends++
 	l.mAppends.Inc()
+	l.signalLocked()
 	if l.opts.Failpoints.hit(FPAppendBuffer) {
 		// Power loss with the record still in cache: it never existed.
 		l.buf = nil
+		l.entries = l.entries[:len(l.entries)-1]
 		return 0, l.die()
 	}
 	switch l.opts.Fsync {
@@ -330,6 +362,12 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		}
 	}
 	return l.seq, nil
+}
+
+// signalLocked wakes every Changed waiter.
+func (l *Log) signalLocked() {
+	close(l.changed)
+	l.changed = make(chan struct{})
 }
 
 // Sync forces every staged record to stable storage regardless of

@@ -1,0 +1,95 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Epoch file: the fencing token for replicated failover.
+//
+//	magic [8]byte    // "PIYEEPO1"
+//	crc   uint32 LE  // CRC32C of epoch
+//	epoch uint64 LE
+//
+// The epoch is a monotonic generation counter: a node may only write to
+// shared state (serve releases, ship frames) while its epoch is the
+// highest it has ever seen from any peer. Promotion durably bumps the
+// epoch BEFORE the new primary serves anything, so even if the old
+// primary comes back from the dead mid-promotion, its frames and ledger
+// writes carry a smaller number and are refused. The file is tiny and
+// rewritten rarely (only on promotion or adoption), via the usual
+// temp → fsync → rename → dirsync idiom.
+
+var epochMagic = [8]byte{'P', 'I', 'Y', 'E', 'E', 'P', 'O', '1'}
+
+const (
+	epochName    = "epoch.dat"
+	epochTmpName = "epoch.tmp"
+	epochSize    = 8 + 4 + 8
+)
+
+// LoadEpoch reads the persisted epoch in dir, returning 0 when the file
+// does not exist (a node that has never fenced). A corrupt epoch file is
+// an error: guessing a fencing token low risks split-brain, guessing it
+// high usurps the real primary.
+func LoadEpoch(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("durable: reading epoch: %w", err)
+	}
+	if len(data) != epochSize || [8]byte(data[:8]) != epochMagic {
+		return 0, fmt.Errorf("durable: epoch file in %s: bad header", dir)
+	}
+	if crc32.Checksum(data[12:], castagnoli) != binary.LittleEndian.Uint32(data[8:12]) {
+		return 0, fmt.Errorf("durable: epoch file in %s: checksum mismatch", dir)
+	}
+	return binary.LittleEndian.Uint64(data[12:]), nil
+}
+
+// StoreEpoch durably persists epoch in dir (created if missing). On
+// return the epoch survives power loss — the precondition for using it
+// as a fencing token.
+func StoreEpoch(dir string, epoch uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	buf := make([]byte, epochSize)
+	copy(buf, epochMagic[:])
+	binary.LittleEndian.PutUint64(buf[12:], epoch)
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(buf[12:], castagnoli))
+
+	tmp := filepath.Join(dir, epochTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: epoch temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: epoch write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: epoch fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: epoch close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, epochName)); err != nil {
+		return fmt.Errorf("durable: epoch rename: %w", err)
+	}
+	dirf, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	defer dirf.Close()
+	if err := dirf.Sync(); err != nil {
+		return fmt.Errorf("durable: directory fsync: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package durable
+
+// Replication support: a Log can be read as a stream — snapshot, then
+// the live entry tail — so a warm standby can mirror it over the wire.
+// The Log itself knows nothing about networks or peers; internal/replica
+// builds the shipping protocol on the three primitives here:
+//
+//   - TailFrom hands back the in-memory entry tail after a sequence
+//     number, or reports that the requested point is already compacted
+//     into the snapshot (the reader must take the snapshot first);
+//   - SnapshotPayload re-reads and re-verifies snapshot.dat, because the
+//     recovered in-memory copy is dropped once the owner holds live
+//     state;
+//   - Changed returns a channel closed at the next append, so a tailing
+//     reader can block instead of polling.
+//
+// Note a durability asymmetry that is deliberate: the tail is the staged
+// log, not the synced log, so under FsyncInterval/FsyncNever a standby
+// can hold records the primary later loses in a crash. For
+// inference-control state that direction is safe — a standby that
+// remembers MORE granted releases refuses no less than the primary
+// would have.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSequence means an AppendEntry sequence was not contiguous with the
+// log: a duplicate or a gap. Replication treats it as divergence and
+// resyncs rather than appending out of order.
+var ErrSequence = errors.New("durable: non-contiguous sequence")
+
+// TailFrom returns every entry with seq > from. When from is below the
+// snapshot boundary the tail alone cannot reconstruct the state;
+// snapNeeded is true and the caller must install SnapshotPayload first
+// (the returned entries then follow it). The returned slice is a copy of
+// the slice header; payloads are shared and must not be mutated.
+func (l *Log) TailFrom(from uint64) (entries []Entry, snapSeq uint64, snapNeeded bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := 0
+	for start < len(l.entries) && l.entries[start].Seq <= from {
+		start++
+	}
+	return append([]Entry(nil), l.entries[start:]...), l.snapSeq, from < l.snapSeq
+}
+
+// SnapshotPayload reads, verifies and returns the installed snapshot
+// payload and the sequence it covers. A log that never snapshotted
+// returns (nil, 0, nil).
+func (l *Log) SnapshotPayload() (state []byte, seq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snapSeq == 0 {
+		return nil, 0, nil
+	}
+	if l.snapshot != nil {
+		return append([]byte(nil), l.snapshot...), l.snapSeq, nil
+	}
+	// The recovered copy was dropped after the owner's last SaveSnapshot;
+	// re-read the (atomically installed, checksummed) file.
+	payload, fileSeq, _, err := readSnapshotFile(l.snapPath())
+	if err != nil {
+		return nil, 0, err
+	}
+	if fileSeq != l.snapSeq {
+		return nil, 0, fmt.Errorf("durable: snapshot file covers seq %d but log believes %d", fileSeq, l.snapSeq)
+	}
+	return payload, fileSeq, nil
+}
+
+// Changed returns a channel closed at the next append or snapshot (or
+// close of the log). Take it before reading the tail: the
+// read-tail/wait/re-read loop then never misses an append.
+func (l *Log) Changed() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.changed
+}
+
+// LegacySnapshot reports whether the recovered snapshot predates the
+// integrity trailer (see snapshot.go); owners may want to warn and
+// re-snapshot promptly.
+func (l *Log) LegacySnapshot() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.legacySnap
+}

@@ -2,8 +2,10 @@ package durable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 )
@@ -14,36 +16,113 @@ import (
 //	crc     uint32 LE  // CRC32C of seq + payload
 //	seq     uint64 LE  // last WAL sequence the snapshot covers
 //	payload []byte     // owner-rendered full state
+//	tcrc    uint32 LE  // CRC32C of every preceding byte (integrity trailer)
+//	tmagic  [8]byte    // "PIYETRL1"
 //
 // The file is written to a temp name, fsynced, atomically renamed into
 // place and the directory fsynced, so snapshot.dat is always either the
 // previous complete snapshot or the new complete snapshot. A corrupt
 // snapshot.dat therefore cannot be crash debris and Open refuses it.
+//
+// The trailer exists to catch truncation: the header CRC proves the bytes
+// present are the bytes written, but a file cut short mid-payload still
+// fails only by length heuristics. A snapshot that does not end in the
+// trailer magic is either truncated or a legacy (pre-trailer) file; the
+// legacy case is accepted with a startup warning so old state dirs keep
+// working, and the next SaveSnapshot upgrades the format. (A legacy
+// payload that coincidentally ends in the trailer magic would be
+// misparsed as trailered and refused on checksum — our payloads are
+// JSON, which cannot end in "PIYETRL1", so the ambiguity is theoretical.)
 
-var snapMagic = [8]byte{'P', 'I', 'Y', 'E', 'S', 'N', 'P', '1'}
+var (
+	snapMagic    = [8]byte{'P', 'I', 'Y', 'E', 'S', 'N', 'P', '1'}
+	snapTrailerM = [8]byte{'P', 'I', 'Y', 'E', 'T', 'R', 'L', '1'}
+)
 
-const snapHeader = 8 + 4 + 8
+const (
+	snapHeader  = 8 + 4 + 8
+	snapTrailer = 4 + 8
+)
+
+// ErrSnapshotCorrupt marks a snapshot file that fails integrity checks —
+// bad magic, checksum mismatch or truncation. It is distinct from
+// ordinary I/O errors so operators can tell "restore from the replica"
+// apart from "fix the mount".
+var ErrSnapshotCorrupt = errors.New("durable: snapshot corrupt")
+
+func (l *Log) snapPath() string { return filepath.Join(l.opts.Dir, snapName) }
+
+// readSnapshotFile reads and verifies a snapshot file. legacy reports a
+// pre-trailer file that passed its (weaker) header checksum. Integrity
+// failures wrap ErrSnapshotCorrupt; a missing file surfaces as the
+// underlying os error for the caller to classify.
+func readSnapshotFile(path string) (payload []byte, seq uint64, legacy bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(data) < snapHeader || [8]byte(data[:8]) != snapMagic {
+		return nil, 0, false, fmt.Errorf("%w: %s: bad header — snapshots are installed atomically, so this is in-place damage", ErrSnapshotCorrupt, path)
+	}
+	body := data[12:]
+	if len(data) >= snapHeader+snapTrailer && [8]byte(data[len(data)-8:]) == snapTrailerM {
+		head := data[:len(data)-snapTrailer]
+		if crc32.Checksum(head, castagnoli) != binary.LittleEndian.Uint32(data[len(data)-snapTrailer:]) {
+			return nil, 0, false, fmt.Errorf("%w: %s: trailer checksum mismatch — refusing truncated or altered state", ErrSnapshotCorrupt, path)
+		}
+		body = data[12 : len(data)-snapTrailer]
+	} else {
+		legacy = true
+	}
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[8:12]) {
+		return nil, 0, false, fmt.Errorf("%w: %s: checksum mismatch — refusing to serve corrupt state", ErrSnapshotCorrupt, path)
+	}
+	seq = binary.LittleEndian.Uint64(body[:8])
+	return append([]byte(nil), body[8:]...), seq, legacy, nil
+}
 
 // loadSnapshot reads and verifies snapshot.dat, if present.
 func (l *Log) loadSnapshot() error {
-	path := filepath.Join(l.opts.Dir, snapName)
-	data, err := os.ReadFile(path)
+	path := l.snapPath()
+	payload, seq, legacy, err := readSnapshotFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
+		if errors.Is(err, ErrSnapshotCorrupt) {
+			return err
+		}
 		return fmt.Errorf("durable: reading snapshot: %w", err)
 	}
-	if len(data) < snapHeader || [8]byte(data[:8]) != snapMagic {
-		return fmt.Errorf("durable: snapshot %s: bad header — snapshots are installed atomically, so this is in-place corruption", path)
+	if legacy {
+		l.legacySnap = true
+		log.Printf("durable: snapshot %s predates the integrity trailer (accepted; the next snapshot upgrades the format)", path)
 	}
-	if crc32.Checksum(data[12:], castagnoli) != binary.LittleEndian.Uint32(data[8:12]) {
-		return fmt.Errorf("durable: snapshot %s: checksum mismatch — refusing to serve corrupt state", path)
+	l.snapSeq = seq
+	l.snapshot = payload
+	l.snapSize = int64(snapHeader + len(payload))
+	if !legacy {
+		l.snapSize += snapTrailer
 	}
-	l.snapSeq = binary.LittleEndian.Uint64(data[12:20])
-	l.snapshot = append([]byte(nil), data[20:]...)
-	l.snapSize = int64(len(data))
 	return nil
+}
+
+// encodeSnapshot renders the on-disk snapshot file for seq + state.
+func encodeSnapshot(seq uint64, state []byte) []byte {
+	buf := make([]byte, 0, snapHeader+len(state)+snapTrailer)
+	buf = append(buf, snapMagic[:]...)
+	var seqb [8]byte
+	binary.LittleEndian.PutUint64(seqb[:], seq)
+	body := append(seqb[:], state...)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(body, castagnoli))
+	buf = append(buf, crcb[:]...)
+	buf = append(buf, body...)
+	var tcrc [4]byte
+	binary.LittleEndian.PutUint32(tcrc[:], crc32.Checksum(buf, castagnoli))
+	buf = append(buf, tcrc[:]...)
+	buf = append(buf, snapTrailerM[:]...)
+	return buf
 }
 
 // SaveSnapshot installs state as the snapshot covering every record
@@ -56,16 +135,31 @@ func (l *Log) SaveSnapshot(state []byte) error {
 	if l.deadErr != nil {
 		return l.deadErr
 	}
+	return l.saveSnapshotLocked(l.seq, state)
+}
 
-	buf := make([]byte, 0, snapHeader+len(state))
-	buf = append(buf, snapMagic[:]...)
-	var seqb [8]byte
-	binary.LittleEndian.PutUint64(seqb[:], l.seq)
-	body := append(seqb[:], state...)
-	var crcb [4]byte
-	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(body, castagnoli))
-	buf = append(buf, crcb[:]...)
-	buf = append(buf, body...)
+// InstallSnapshot replaces the log's entire state with a snapshot
+// received from elsewhere — the resync path of a replication standby.
+// Unlike SaveSnapshot it also moves the sequence cursor to seq,
+// discarding whatever divergent tail the standby had accumulated;
+// replay then resumes at seq+1.
+func (l *Log) InstallSnapshot(seq uint64, state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.deadErr != nil {
+		return l.deadErr
+	}
+	if err := l.saveSnapshotLocked(seq, state); err != nil {
+		return err
+	}
+	l.seq = seq
+	return nil
+}
+
+// saveSnapshotLocked writes the snapshot file for seq + state, compacts
+// the WAL and clears the live entry tail.
+func (l *Log) saveSnapshotLocked(seq uint64, state []byte) error {
+	buf := encodeSnapshot(seq, state)
 
 	tmp := filepath.Join(l.opts.Dir, snapTmpName)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
@@ -95,7 +189,7 @@ func (l *Log) SaveSnapshot(state []byte) error {
 	if l.opts.Failpoints.hit(FPSnapRename) {
 		return l.die()
 	}
-	if err := os.Rename(tmp, filepath.Join(l.opts.Dir, snapName)); err != nil {
+	if err := os.Rename(tmp, l.snapPath()); err != nil {
 		return fmt.Errorf("durable: snapshot rename: %w", err)
 	}
 	if l.opts.Failpoints.hit(FPSnapDirSync) {
@@ -104,10 +198,13 @@ func (l *Log) SaveSnapshot(state []byte) error {
 	if err := l.dirf.Sync(); err != nil {
 		return fmt.Errorf("durable: directory fsync: %w", err)
 	}
-	l.snapSeq = l.seq
+	l.snapSeq = seq
 	l.snapshot = nil // recovered copy is stale now; owners hold live state
 	l.snapSize = int64(len(buf))
 	l.appends = 0
+	l.legacySnap = false
+	l.entries = nil // the snapshot subsumes the live tail
+	l.signalLocked()
 
 	// Compact: every WAL record is now covered by the snapshot, so the
 	// log restarts empty via the same temp + rename + dirsync idiom. A

@@ -309,3 +309,32 @@ func TestE21(t *testing.T) {
 		}
 	}
 }
+
+func TestE22(t *testing.T) {
+	// A small failover run: the invariants (no double-grant, stale
+	// writer fenced) are enforced inside E22ReplicationFailover — it
+	// errors if either fails — so the test pins shape and accounting.
+	const total = 30
+	tab, err := E22ReplicationFailover(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("not a count: %q", s)
+		}
+		return n
+	}
+	// Every offered query is accounted for: answered by one of the two
+	// generations or lost in the window.
+	if got := atoi(tab.Rows[1][1]) + atoi(tab.Rows[2][1]) + atoi(tab.Rows[3][1]); got != total {
+		t.Errorf("accounted %d of %d offered queries", got, total)
+	}
+	if atoi(tab.Rows[2][1]) == 0 {
+		t.Error("the promoted standby answered nothing")
+	}
+}

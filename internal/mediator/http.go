@@ -1,6 +1,8 @@
 package mediator
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -106,6 +108,14 @@ func NewHandler(m *Mediator) http.Handler {
 			if source.WriteShed(w, err) {
 				return
 			}
+			// Role refusals are 503, not 403: the query is fine, this
+			// node just is not the primary — retry against the peer.
+			var np *NotPrimaryError
+			var fe *FencedError
+			if errors.As(err, &np) || errors.As(err, &fe) {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusForbidden)
 			return
 		}
@@ -149,6 +159,31 @@ func NewHandler(m *Mediator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+
+	// Replication surface, when configured: the stream standbys tail,
+	// the fence endpoint a promoted successor posts to, operator-driven
+	// promotion, and a status view for runbooks and tests.
+	if m.repSrv != nil {
+		mux.HandleFunc("GET /replica/stream", m.repSrv.ServeStream)
+		mux.HandleFunc("POST /replica/fence", m.repSrv.ServeFence)
+		mux.HandleFunc("POST /replica/promote", func(w http.ResponseWriter, r *http.Request) {
+			epoch, err := m.Promote()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"promoted": true, "epoch": epoch})
+		})
+	}
+	mux.HandleFunc("GET /replica/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m.ReplicationStatus())
+	})
+
+	// Liveness/readiness (readiness gates on WAL replay — implied by a
+	// constructed mediator — and, for a standby, replication lag).
+	obs.AttachHealth(mux, m.Ready)
 
 	// /metrics and /debug/trace, when the mediator was built with a
 	// registry or tracer.

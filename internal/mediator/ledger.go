@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -219,9 +220,15 @@ func (l *releaseLedger) checkAndRecord(requester string, rel ledgerRelease, thre
 	}
 	// Durable-before-visible: once the statistics leave the mediator they
 	// cannot be recalled, so a release the ledger cannot record must not
-	// be released at all.
+	// be released at all. A persist error that already carries its own
+	// refusal reason (a fenced ex-primary's guard) passes through — it
+	// is a sharper diagnosis than "unrecordable".
 	if l.persist != nil {
 		if err := l.persist(requester, rel); err != nil {
+			var rr refusal.Reasoner
+			if errors.As(err, &rr) {
+				return err
+			}
 			return &UnrecordableRefusal{Scope: "mediator", Err: err}
 		}
 	}
@@ -237,6 +244,14 @@ func (l *releaseLedger) restore(requester string, rel ledgerRelease) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.byRequester[requester] = append(l.byRequester[requester], rel)
+}
+
+// replaceAll swaps in a complete release map — a replication standby
+// installing the primary's snapshot. Like restore, no checks re-run.
+func (l *releaseLedger) replaceAll(byRequester map[string][]ledgerRelease) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byRequester = byRequester
 }
 
 // combinedDisclosure mounts the outsider attack on the pair of releases:

@@ -21,6 +21,7 @@ import (
 	"privateiye/internal/piql"
 	"privateiye/internal/qcache"
 	"privateiye/internal/refusal"
+	"privateiye/internal/replica"
 	"privateiye/internal/resilience"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/source"
@@ -71,6 +72,10 @@ type Config struct {
 	// history to disk and replays them on startup, defeating the
 	// restart-amnesia attack on the combination controls (see persist.go).
 	Durability *DurabilityConfig
+	// Replica, when non-nil, replicates the durable log to/from a peer
+	// mediator and arbitrates failover with a persisted fencing epoch
+	// (see replicate.go). Requires Durability.
+	Replica *ReplicaConfig
 	// Workers bounds the mediator's own compute fan-out (Bloom encoding
 	// during dedup, the ledger's simulated inference attack): 0 =
 	// GOMAXPROCS, 1 = serial.
@@ -111,8 +116,8 @@ type Config struct {
 type Mediator struct {
 	cfg     Config
 	matcher *schemamatch.Matcher
-	plans   *qcache.Cache // parse cache; nil when disabled
-	obs     *medObs       // metric handles; nil when uninstrumented
+	plans   *qcache.Cache         // parse cache; nil when disabled
+	obs     *medObs               // metric handles; nil when uninstrumented
 	admit   *admission.Controller // nil = admit everything
 
 	mu              sync.RWMutex
@@ -127,6 +132,18 @@ type Mediator struct {
 	// persist is set once in New when Config.Durability is given; nil
 	// means process-local state (see persist.go).
 	persist *statePersister
+
+	// Replication wiring; all nil without Config.Replica (see
+	// replicate.go). node holds role + fencing epoch; repSrv serves the
+	// log to standbys; repClient tails the primary on a standby;
+	// repCancel stops the client at promotion or Close; fenceCancel
+	// (guarded by mu) stops the post-promotion fencer loop.
+	node        *replica.Node
+	repSrv      *replica.Server
+	repClient   *replica.Client
+	repCancel   context.CancelFunc
+	fenceCancel context.CancelFunc
+	fenceAcks   *obs.Counter
 }
 
 // HistoryEntry is one integration round in the Query History store.
@@ -253,6 +270,12 @@ func New(cfg Config) (*Mediator, error) {
 		// Recover persisted ledger + history before serving any query:
 		// the first answer must already see the full release history.
 		if err := m.openDurable(*cfg.Durability); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Replica != nil {
+		if err := m.openReplication(*cfg.Replica); err != nil {
+			m.Close()
 			return nil, err
 		}
 	}
@@ -408,6 +431,13 @@ func (m *Mediator) denialReason(err error) string {
 func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string) (*Integrated, error) {
 	t0 := time.Now()
 	trace := m.obs.startTrace(requester, piqlText)
+	// Role gate: a standby mirrors the primary's releases but must not
+	// grant its own, and a fenced ex-primary must grant nothing at all —
+	// its ledger no longer sees what the successor has released.
+	if err := m.writeGate(); err != nil {
+		m.obs.finish(trace, t0, nil, err)
+		return nil, err
+	}
 	grant, err := m.admit.Acquire(ctx, requester)
 	if err != nil {
 		var sh *admission.ShedError

@@ -72,9 +72,15 @@ func fromWire(w wireRelease) ledgerRelease {
 }
 
 // walRecord is one WAL entry: a ledgered release or a history entry.
+// Epoch is the fencing epoch of the node that wrote it (0 when the
+// mediator runs unreplicated) — the release-ledger half of the fencing
+// invariant: every granted release names the generation that granted
+// it, so a post-failover audit can prove no stale-epoch write slipped
+// into the history.
 type walRecord struct {
 	Kind      string        `json:"k"`
 	Requester string        `json:"req,omitempty"`
+	Epoch     uint64        `json:"e,omitempty"`
 	Release   *wireRelease  `json:"rel,omitempty"`
 	History   *HistoryEntry `json:"h,omitempty"`
 }
@@ -91,6 +97,14 @@ type statePersister struct {
 	mu   sync.Mutex // guards inSnapshot
 	// inSnapshot keeps concurrent queries from stampeding SaveSnapshot.
 	inSnapshot bool
+	// guard, when set (see replicate.go), runs before every release
+	// append: a node that is not the primary at its own epoch must fail
+	// the write closed rather than record a release its successor's
+	// ledger will never see.
+	guard func() error
+	// epoch, when set, stamps each WAL record with the writing node's
+	// fencing epoch.
+	epoch func() uint64
 }
 
 // openDurable opens (or recovers) the state directory, replays the
@@ -149,8 +163,17 @@ func (m *Mediator) openDurable(cfg DurabilityConfig) error {
 // persistRelease is the ledger's fail-closed hook: called (under the
 // ledger lock) before a release becomes visible.
 func (p *statePersister) persistRelease(requester string, rel ledgerRelease) error {
+	if p.guard != nil {
+		if err := p.guard(); err != nil {
+			return err
+		}
+	}
 	w := toWire(rel)
-	b, err := json.Marshal(walRecord{Kind: kindRelease, Requester: requester, Release: &w})
+	rec := walRecord{Kind: kindRelease, Requester: requester, Release: &w}
+	if p.epoch != nil {
+		rec.Epoch = p.epoch()
+	}
+	b, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
@@ -163,7 +186,11 @@ func (p *statePersister) persistRelease(requester string, rel ledgerRelease) err
 // refusing it retroactively is not possible, so a write failure here
 // must not fail the query.
 func (p *statePersister) persistHistory(e HistoryEntry) {
-	b, err := json.Marshal(walRecord{Kind: kindHistory, History: &e})
+	rec := walRecord{Kind: kindHistory, History: &e}
+	if p.epoch != nil {
+		rec.Epoch = p.epoch()
+	}
+	b, err := json.Marshal(rec)
 	if err != nil {
 		return
 	}
@@ -216,9 +243,19 @@ func (m *Mediator) maybeSnapshot() {
 	_ = p.dlog.SaveSnapshot(state)
 }
 
-// Close flushes and closes the durable state, if configured. The
-// mediator must not be queried afterwards.
+// Close flushes and closes the durable state, if configured, and stops
+// any replication goroutines. The mediator must not be queried
+// afterwards.
 func (m *Mediator) Close() error {
+	if m.repCancel != nil {
+		m.repCancel()
+	}
+	m.mu.Lock()
+	if m.fenceCancel != nil {
+		m.fenceCancel()
+		m.fenceCancel = nil
+	}
+	m.mu.Unlock()
 	if m.persist == nil {
 		return nil
 	}

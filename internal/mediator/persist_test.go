@@ -146,6 +146,13 @@ func TestUnrecordableReleaseRefused(t *testing.T) {
 			if _, err := m.Query(perHMOQuery, "snooper"); err == nil {
 				t.Error("queries after a persistence crash must keep failing closed")
 			}
+			// The death is sticky and node-wide: a requester with no
+			// prior releases is refused too, on every retry.
+			for i := 0; i < 3; i++ {
+				if _, err := m.Query(perTestQuery, "bystander"); err == nil {
+					t.Fatalf("retry %d: a dead log must keep refusing every requester", i)
+				}
+			}
 			m.Close()
 
 			// Reboot over the same directory: recovery must succeed. The

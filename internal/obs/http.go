@@ -47,6 +47,28 @@ func Attach(mux *http.ServeMux, r *Registry, tr *Tracer) {
 	mux.Handle("GET /debug/trace", TraceHandler(tr))
 }
 
+// AttachHealth mounts the standard health surface on an existing mux:
+// GET /healthz (liveness: the process answers) and GET /readyz
+// (readiness: ready() returns nil; a nil ready means always ready).
+// Readiness failures answer 503 with the reason in the body so an
+// orchestrator's probe log says why the node was out of rotation.
+func AttachHealth(mux *http.ServeMux, ready func() error) {
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ready\n"))
+	})
+}
+
 // DebugHandler builds the standalone debug surface served behind the
 // daemons' -debug-addr flag: /metrics, /debug/trace and the
 // net/http/pprof suite. The pprof handlers are mounted explicitly so

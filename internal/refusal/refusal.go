@@ -64,6 +64,14 @@ const (
 	// RateLimited: the per-requester token bucket refused the request.
 	// Not a privacy refusal: the caller may retry after Retry-After.
 	RateLimited Reason = "ratelimited"
+	// NotPrimary: the query reached a replication standby (or a node
+	// mid-promotion); the caller should retry against the primary. Not a
+	// privacy refusal.
+	NotPrimary Reason = "not-primary"
+	// Fenced: this node was deposed by a newer primary epoch and fails
+	// every release closed — granting here could double-grant what the
+	// successor's ledger does not know about.
+	Fenced Reason = "fenced"
 	// Other: an error outside the closed vocabulary (transport faults,
 	// internal errors). A growing "other" count is a signal to look at
 	// the traces, not to mint labels.
@@ -80,7 +88,8 @@ func All() []Reason {
 		Timeout, Canceled, BreakerOpen, Policy,
 		AuditSetSize, AuditOverlap, AuditCompromise,
 		LedgerCombination, Unrecordable, LossBudget,
-		Parse, NoSource, Overloaded, RateLimited, Other,
+		Parse, NoSource, Overloaded, RateLimited,
+		NotPrimary, Fenced, Other,
 	}
 }
 
@@ -145,6 +154,13 @@ func ClassifyString(s string) Reason {
 		return RateLimited
 	case strings.Contains(s, "overloaded"):
 		return Overloaded
+	// "fenced" before "not primary": a fenced node's message may name
+	// its role ("not primary (role fenced...)") and the sharper reason
+	// wins.
+	case strings.Contains(s, "fenced"):
+		return Fenced
+	case strings.Contains(s, "not primary"):
+		return NotPrimary
 	default:
 		return Other
 	}

@@ -72,6 +72,11 @@ func TestClassifyString(t *testing.T) {
 		{"source hospitalA: 503 Service Unavailable: source hospitalA: overloaded: estimated queue wait 120ms exceeds remaining deadline 50ms", Overloaded},
 		{"mediator: rate limit exceeded for requester drWho: retry after 1s", RateLimited},
 		{"source lab: 429 Too Many Requests: source lab: rate limit exceeded for requester drWho", RateLimited},
+		// replication role refusals (retry against the primary).
+		{"mediator: not primary (role standby, epoch 3): this node mirrors the primary and does not grant releases", NotPrimary},
+		{"mediator: fenced at epoch 4: a newer primary exists; refusing to grant releases", Fenced},
+		// A fenced node naming its role still classifies as fenced.
+		{"not primary (role fenced, epoch 4)", Fenced},
 		// HTTP 503 from a dead node: transport noise, not a known reason.
 		{"source hospitalC: 503 Service Unavailable: upstream reset", Other},
 	}
@@ -90,7 +95,7 @@ func TestAllCoversEveryReasonOnce(t *testing.T) {
 		}
 		seen[r] = true
 	}
-	if len(seen) != 15 {
+	if len(seen) != 17 {
 		t.Fatalf("All() lists %d reasons; update the test when the vocabulary deliberately grows", len(seen))
 	}
 }

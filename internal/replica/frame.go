@@ -1,0 +1,143 @@
+// Package replica streams a primary mediator's durable log to a warm
+// standby and arbitrates failover with an epoch fencing token.
+//
+// The protocol is deliberately small: one HTTP GET
+// (/replica/stream?from=<seq>&epoch=<e>) whose response body is an
+// unbounded sequence of frames, each a durable WAL record
+// (length-prefixed, CRC32C-checked — the exact encoding the log itself
+// uses on disk, via durable.AppendRecord/DecodeRecord) whose payload
+// carries a one-byte frame type and the sender's current epoch:
+//
+//	record payload:
+//	  type  uint8      // 'h' hello, 's' snapshot, 'e' entry, 'b' heartbeat
+//	  epoch uint64 LE  // sender's fencing epoch at send time
+//	  data  []byte     // type-specific
+//
+// A hello frame (seq 0, JSON data) opens every stream and tells the
+// standby where the primary stands. A snapshot frame (seq = covered
+// sequence, data = snapshot payload) is sent when the requested resume
+// point is already compacted away. Entry frames carry live WAL records
+// at their true sequence numbers. Heartbeat frames (seq 0, data =
+// primary's last sequence) flow when the log is idle so the standby can
+// measure lag and detect a dead pipe.
+//
+// Because every frame embeds the sender's epoch, fencing needs no
+// side channel: a standby that has adopted epoch N refuses any frame
+// stamped < N, and a primary that sees a request stamped > its own
+// epoch knows a successor exists and fences itself.
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"privateiye/internal/durable"
+)
+
+// Frame types.
+const (
+	FrameHello     byte = 'h'
+	FrameSnapshot  byte = 's'
+	FrameEntry     byte = 'e'
+	FrameHeartbeat byte = 'b'
+)
+
+// maxFrame bounds one encoded frame; anything claiming to be larger is
+// treated as a torn/corrupt stream (mirrors the durable record cap).
+const maxFrame = 17 << 20
+
+// ErrTornFrame means the stream produced bytes that do not decode as a
+// complete, checksum-valid frame — a cut connection mid-frame or
+// corruption in transit. The reader must drop the connection and
+// resync; it must never guess at a partial frame.
+var ErrTornFrame = errors.New("replica: torn or corrupt frame")
+
+// ErrStaleEpoch means a peer presented an epoch older than one we have
+// already adopted: a deposed primary still talking. Its frames must be
+// refused wholesale — applying even one would let a fenced node keep
+// writing history.
+var ErrStaleEpoch = errors.New("replica: stale epoch")
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type  byte
+	Epoch uint64 // sender's fencing epoch
+	Seq   uint64 // WAL sequence (hello/heartbeat: 0)
+	Data  []byte
+}
+
+// Hello is the JSON body of the stream-opening frame.
+type Hello struct {
+	Epoch   uint64 `json:"epoch"`
+	SnapSeq uint64 `json:"snap_seq"`
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// EncodeFrame renders f as one durable record.
+func EncodeFrame(f Frame) []byte {
+	body := make([]byte, 9+len(f.Data))
+	body[0] = f.Type
+	binary.LittleEndian.PutUint64(body[1:9], f.Epoch)
+	copy(body[9:], f.Data)
+	return durable.AppendRecord(nil, f.Seq, body)
+}
+
+// encodeHello renders the stream-opening frame.
+func encodeHello(h Hello) []byte {
+	data, _ := json.Marshal(h)
+	return EncodeFrame(Frame{Type: FrameHello, Epoch: h.Epoch, Data: data})
+}
+
+// encodeHeartbeat renders an idle-stream keepalive carrying lastSeq.
+func encodeHeartbeat(epoch, lastSeq uint64) []byte {
+	var data [8]byte
+	binary.LittleEndian.PutUint64(data[:], lastSeq)
+	return EncodeFrame(Frame{Type: FrameHeartbeat, Epoch: epoch, Data: data[:]})
+}
+
+// ReadFrame reads and verifies one frame from r. io.EOF is returned
+// only at a clean frame boundary; a connection cut mid-frame or a
+// checksum failure is ErrTornFrame.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: %v", ErrTornFrame, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length < 9+9 || length > maxFrame {
+		return Frame{}, fmt.Errorf("%w: impossible frame length %d", ErrTornFrame, length)
+	}
+	buf := make([]byte, 8+int(length))
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[8:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrTornFrame, err)
+	}
+	seq, payload, _, err := durable.DecodeRecord(buf)
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrTornFrame, err)
+	}
+	if len(payload) < 9 {
+		return Frame{}, fmt.Errorf("%w: frame payload too short", ErrTornFrame)
+	}
+	return Frame{
+		Type:  payload[0],
+		Epoch: binary.LittleEndian.Uint64(payload[1:9]),
+		Seq:   seq,
+		Data:  append([]byte(nil), payload[9:]...),
+	}, nil
+}
+
+// heartbeatLastSeq decodes a heartbeat frame's data.
+func heartbeatLastSeq(f Frame) uint64 {
+	if len(f.Data) != 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(f.Data)
+}

@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+
+	"privateiye/internal/durable"
+	"privateiye/internal/obs"
+)
+
+// Role is a node's place in the replication pair.
+type Role int32
+
+const (
+	// RolePrimary serves queries and ships its log to standbys.
+	RolePrimary Role = iota
+	// RoleStandby replays the primary's log and refuses queries.
+	RoleStandby
+	// RolePromoting is the transient state while a standby durably bumps
+	// its epoch; queries are still refused.
+	RolePromoting
+	// RoleFenced is a deposed primary: it has seen a higher epoch and
+	// refuses all queries and ledger writes until an operator retires or
+	// re-seeds it. Fencing is terminal by design — a node that could
+	// un-fence itself could also double-grant.
+	RoleFenced
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleStandby:
+		return "standby"
+	case RolePromoting:
+		return "promoting"
+	case RoleFenced:
+		return "fenced"
+	}
+	return fmt.Sprintf("Role(%d)", int32(r))
+}
+
+// Node holds a mediator's replication identity: its role and its
+// durably persisted fencing epoch. All methods are safe for concurrent
+// use; epoch changes hit disk before they take effect in memory, so a
+// crash can lose an epoch bump (and retry it) but can never roll one
+// back.
+type Node struct {
+	dir string
+
+	mu    sync.Mutex
+	epoch uint64
+	role  Role
+
+	mPromotions *obs.Counter
+	mFences     *obs.Counter
+}
+
+// OpenNode loads (or initialises) the epoch persisted in dir and
+// assumes the given starting role. A brand-new primary starts at epoch
+// 1 — epoch 0 is reserved for "never fenced", so a standby at 0 adopts
+// whatever its primary presents.
+func OpenNode(dir string, role Role, reg *obs.Registry) (*Node, error) {
+	epoch, err := durable.LoadEpoch(dir)
+	if err != nil {
+		return nil, err
+	}
+	if epoch == 0 && role == RolePrimary {
+		epoch = 1
+		if err := durable.StoreEpoch(dir, epoch); err != nil {
+			return nil, err
+		}
+	}
+	n := &Node{dir: dir, epoch: epoch, role: role}
+	if reg != nil {
+		reg.Help("piye_replica_epoch", "Durably persisted fencing epoch of this node.")
+		reg.Help("piye_replica_role", "Replication role: 0 primary, 1 standby, 2 promoting, 3 fenced.")
+		reg.Help("piye_replica_promotions_total", "Standby-to-primary promotions performed by this node.")
+		reg.Help("piye_replica_fences_total", "Times this node fenced itself after observing a higher epoch.")
+		reg.GaugeFunc("piye_replica_epoch", func() float64 { return float64(n.Epoch()) })
+		reg.GaugeFunc("piye_replica_role", func() float64 { return float64(n.Role()) })
+		n.mPromotions = reg.Counter("piye_replica_promotions_total")
+		n.mFences = reg.Counter("piye_replica_fences_total")
+	}
+	return n, nil
+}
+
+// Epoch returns the node's current fencing epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Observe notes an epoch presented by a peer. A higher epoch than our
+// own is adopted and persisted before this returns; if this node
+// believed itself primary (or was mid-promotion), a higher epoch proves
+// a successor exists and the node fences itself. fenced reports whether
+// this call demoted the node.
+func (n *Node) Observe(peerEpoch uint64) (fenced bool, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if peerEpoch <= n.epoch {
+		return false, nil
+	}
+	if err := durable.StoreEpoch(n.dir, peerEpoch); err != nil {
+		return false, err
+	}
+	n.epoch = peerEpoch
+	if n.role == RolePrimary || n.role == RolePromoting {
+		n.role = RoleFenced
+		n.mFences.Inc()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Promote turns a standby into the primary. The new epoch (old highest
+// seen + 1) is persisted BEFORE the role changes — the fencing
+// invariant: by the time this node grants anything, any frame or write
+// the old primary produces carries a provably smaller epoch. Promoting
+// a fenced node is refused; promoting a primary is a no-op.
+func (n *Node) Promote() (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.role {
+	case RolePrimary:
+		return n.epoch, nil
+	case RoleFenced:
+		return 0, fmt.Errorf("replica: refusing to promote a fenced node (epoch %d belongs to a live successor)", n.epoch)
+	}
+	n.role = RolePromoting
+	next := n.epoch + 1
+	if err := durable.StoreEpoch(n.dir, next); err != nil {
+		n.role = RoleStandby
+		return 0, fmt.Errorf("replica: promotion aborted, epoch not durable: %w", err)
+	}
+	n.epoch = next
+	n.role = RolePrimary
+	n.mPromotions.Inc()
+	return next, nil
+}
+
+// CheckWrite gates a ledger write: only a primary at its own epoch may
+// record new releases. It returns ErrStaleEpoch (wrapped with the
+// roles/epochs involved) for any other state, which callers surface as
+// a fail-closed refusal.
+func (n *Node) CheckWrite() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RolePrimary {
+		return fmt.Errorf("%w: role %s at epoch %d may not write", ErrStaleEpoch, n.role, n.epoch)
+	}
+	return nil
+}

@@ -201,9 +201,9 @@ func TestBreakerIgnoresCancellation(t *testing.T) {
 
 type shedErr struct{ hint time.Duration }
 
-func (shedErr) Error() string     { return "overloaded: queue full" }
-func (shedErr) Shed() bool        { return true }
-func (shedErr) Retryable() bool   { return true }
+func (shedErr) Error() string   { return "overloaded: queue full" }
+func (shedErr) Shed() bool      { return true }
+func (shedErr) Retryable() bool { return true }
 func (e shedErr) RetryAfterHint() (time.Duration, bool) {
 	return e.hint, e.hint > 0
 }

@@ -144,6 +144,10 @@ func NewHandler(l *Local) http.Handler {
 		writeNode(w, linkage.RecordsToNode(recs, linkageM))
 	})
 
+	// Liveness/readiness: a constructed Local has finished loading its
+	// data and replaying any audit WAL, so reachable = ready.
+	obs.AttachHealth(mux, nil)
+
 	// /metrics and /debug/trace, when the source was built with a
 	// registry or tracer.
 	reg, tracer := l.Src.Observability()

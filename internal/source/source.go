@@ -86,9 +86,9 @@ type Source struct {
 	matcher  *schemamatch.Matcher
 	resolver piql.Resolver
 	rng      *stats.Rand
-	summary  *xmltree.Summary // full (unredacted) structural summary
-	plans    *qcache.Cache    // parse/plan cache; nil when disabled
-	obs      *srcObs          // metric handles; nil when uninstrumented
+	summary  *xmltree.Summary      // full (unredacted) structural summary
+	plans    *qcache.Cache         // parse/plan cache; nil when disabled
+	obs      *srcObs               // metric handles; nil when uninstrumented
 	admit    *admission.Controller // nil = admit everything
 
 	mu    sync.RWMutex
