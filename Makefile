@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-fast test-race test-short test-integration cover bench bench-quick bench-guard bench-baseline attack experiments examples fmt fuzz crash
+.PHONY: all build vet test test-fast test-race test-short test-integration cover bench bench-quick bench-batch bench-guard bench-baseline attack experiments examples fmt fuzz crash
 
 all: build vet test
 
@@ -42,6 +42,12 @@ bench:
 # benchmarks still build and run, not a measurement.
 bench-quick:
 	$(GO) test -run '^$$' -bench 'PSI|PIQL|Fig1dInference' -benchtime 1x .
+
+# The amortization benchmarks: group-committed WAL appends vs inline
+# fsync, batched vs per-item PSI kernels, and the pooled record encoder.
+bench-batch:
+	$(GO) test -run '^$$' -bench 'WALAppendAlways|AppendRecord' -benchmem ./internal/durable/
+	$(GO) test -run '^$$' -bench 'BenchmarkBlind|ExponentiateBatch' -benchmem ./internal/psi/
 
 # Perf guard: fails when the best of several measurement rounds is more
 # than 10% slower than the committed baseline (bench/baseline.json).

@@ -46,6 +46,7 @@ func main() {
 	prefFiles := flag.String("preferences", "", "comma-separated data-subject preference XML files")
 	salt := flag.String("salt", defaultSalt, "shared linkage salt")
 	workers := flag.Int("workers", 0, "worker pool size for compute kernels (0 = GOMAXPROCS, 1 = serial)")
+	coalesce := flag.Bool("coalesce", false, "merge concurrent identical whole-column linkage calls (PSI blinds, Bloom encodings) into one shared computation")
 	planCache := flag.Int("plan-cache", 256, "parse/plan cache capacity in entries (0 = disabled)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for /metrics, /debug/trace and /debug/pprof (empty = pprof off; /metrics and /debug/trace are always on -addr)")
 	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "finished per-query traces kept for /debug/trace (0 = tracing off)")
@@ -132,6 +133,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("piye-source: %v", err)
 	}
+	local.Coalesce = *coalesce
 
 	log.Printf("piye-source %s serving %s (%s) on %s", *name, *dataset, pol.Owner, *addr)
 	if *debugAddr != "" {

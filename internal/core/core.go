@@ -70,6 +70,21 @@ type SystemConfig struct {
 	// SnapshotEvery is the snapshot/compaction cadence in WAL appends
 	// (default 256).
 	SnapshotEvery int
+	// GroupCommit batches concurrent WAL appends into one fsync under
+	// the "always" policy: a release is still acknowledged only after
+	// the fsync covering its batch returns, but concurrent requesters
+	// share that fsync instead of queueing one each. GroupMaxBatch caps
+	// the appends per batched fsync (default 64); GroupMaxHold is how
+	// long the committer may hold a batch open for stragglers (default
+	// 0: commit as soon as the committer runs).
+	GroupCommit   bool
+	GroupMaxBatch int
+	GroupMaxHold  time.Duration
+	// Coalesce merges concurrent identical queries from the same
+	// requester into one shared mediation pipeline execution. Per-caller
+	// privacy controls (loss control, release ledger, history) still run
+	// for every caller; different requesters never share.
+	Coalesce bool
 	// Workers sizes the worker pools behind the compute kernels — PSI
 	// blinding/exponentiation, Bloom encoding, the ledger's inference
 	// solver — at the mediator and at every in-process source that does
@@ -152,6 +167,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Coalesce reaches the sources too: concurrent identical
+		// whole-column linkage calls share one computation.
+		local.Coalesce = cfg.Coalesce
 		sys.locals = append(sys.locals, local)
 		sys.eps = append(sys.eps, local)
 	}
@@ -168,6 +186,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			Fsync:         cfg.Fsync,
 			FsyncInterval: cfg.FsyncInterval,
 			SnapshotEvery: cfg.SnapshotEvery,
+			GroupCommit:   cfg.GroupCommit,
+			GroupMaxBatch: cfg.GroupMaxBatch,
+			GroupMaxHold:  cfg.GroupMaxHold,
 		}
 	}
 	med, err := mediator.New(mediator.Config{
@@ -183,6 +204,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Durability:        dur,
 		Workers:           cfg.Workers,
 		PlanCache:         cfg.PlanCache,
+		Coalesce:          cfg.Coalesce,
 		Obs:               cfg.Obs,
 		Trace:             cfg.Trace,
 		Admission:         cfg.Admission,

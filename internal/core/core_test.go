@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"privateiye/internal/clinical"
@@ -99,5 +100,47 @@ func TestMixedLocalAndRemoteSystem(t *testing.T) {
 	}
 	if len(in.Answered) != 2 {
 		t.Errorf("answered = %v, denied = %v", in.Answered, in.Denied)
+	}
+}
+
+// The cross-query amortization knobs ride SystemConfig end to end: group
+// commit reaches the mediator's WAL, Coalesce reaches both the mediator
+// pipeline and every local's whole-column linkage path, and concurrent
+// identical queries still each leave a history entry.
+func TestSystemAmortizationKnobsEndToEnd(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Sources:     []source.Config{sourceConfig(t, "A", 1, 50)},
+		PSIGroup:    psi.TestGroup(),
+		StateDir:    t.TempDir(),
+		GroupCommit: true,
+		Coalesce:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for _, l := range sys.Locals() {
+		if !l.Coalesce {
+			t.Error("SystemConfig.Coalesce did not reach the local endpoint")
+		}
+	}
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = sys.Query("FOR //patients/row WHERE //age >= 60 RETURN //age PURPOSE research MAXLOSS 0.9", "dr")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := len(sys.Mediator().History()); got != callers {
+		t.Errorf("history has %d entries, want one per caller (%d)", got, callers)
 	}
 }

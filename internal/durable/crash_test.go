@@ -18,19 +18,33 @@ func TestCrashMatrix(t *testing.T) {
 	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
 		for _, point := range Points() {
 			t.Run(policy.String()+"/"+point, func(t *testing.T) {
-				runCrashScenario(t, policy, point)
+				runCrashScenario(t, policy, point, false)
 			})
 		}
 	}
 }
 
-func runCrashScenario(t *testing.T, policy FsyncPolicy, point string) {
+// TestGroupCommitCrashMatrix re-runs the whole matrix with group commit
+// enabled: batching the fsync must not change a single crash-recovery
+// guarantee. (Under interval/never the group path is inert, which is
+// itself worth pinning.)
+func TestGroupCommitCrashMatrix(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		for _, point := range Points() {
+			t.Run(policy.String()+"/"+point, func(t *testing.T) {
+				runCrashScenario(t, policy, point, true)
+			})
+		}
+	}
+}
+
+func runCrashScenario(t *testing.T, policy FsyncPolicy, point string, group bool) {
 	dir := t.TempDir()
 	fp := NewFailpoints()
 	// A one-hour tick keeps the background syncer out of the way: under
 	// FsyncInterval, flushes happen only at the scripted Sync and
 	// snapshot steps, so the crash site is deterministic.
-	l, err := Open(Options{Dir: dir, Fsync: policy, FsyncInterval: time.Hour, Failpoints: fp})
+	l, err := Open(Options{Dir: dir, Fsync: policy, FsyncInterval: time.Hour, Failpoints: fp, GroupCommit: group})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -95,6 +95,23 @@ type Options struct {
 	// state — but carrying the knob here lets one flag set travel from
 	// the command line to every subsystem (default 256).
 	SnapshotEvery int
+	// GroupCommit batches concurrent appends under FsyncAlways: staged
+	// records are flushed with one write+fsync per batch by a committer
+	// goroutine, and each Append returns only after the fsync covering
+	// its record — the durability contract is unchanged, only the fsync
+	// is shared. Ignored under the other policies (they never fsync per
+	// append, so there is nothing to amortize).
+	GroupCommit bool
+	// GroupMaxBatch caps how many appends one batch fsync may cover
+	// (default 64). A full batch wakes the committer immediately.
+	GroupMaxBatch int
+	// GroupMaxHold bounds how long the committer waits after the first
+	// staged append for the batch to fill (default 0: commit as soon as
+	// the committer wins the lock — batches then form naturally from the
+	// appends that arrive during the previous batch's fsync). Set a
+	// small window (e.g. 2ms) on devices whose fsync is so fast that
+	// emergent batching stays shallow.
+	GroupMaxHold time.Duration
 	// Failpoints, when non-nil, is the crash-injection schedule.
 	Failpoints *Failpoints
 	// Obs, when non-nil, counts WAL appends, fsyncs and bytes written
@@ -145,10 +162,34 @@ type Log struct {
 	stop       chan struct{}
 	wg         sync.WaitGroup
 
+	// Group-commit state (only used when groupActive). gcWaiters holds
+	// one entry per staged-but-unsynced Append, in staging order; end is
+	// each waiter's byte offset into buf, so a prefix flush knows exactly
+	// which waiters its fsync covered. Invariant: every path that clears
+	// buf (flush, snapshot, crash) completes or re-bases the waiters in
+	// the same critical section, so an offset can never dangle.
+	gcWaiters []*gcWaiter
+	gcKick    chan struct{} // buffered(1): staged work is pending
+	gcFull    chan struct{} // buffered(1): the batch reached GroupMaxBatch
+	gcDone    bool          // committer exited; appends flush inline again
+
 	// Pre-resolved metric handles; nil (no-op) without Options.Obs.
-	mAppends *obs.Counter
-	mFsyncs  *obs.Counter
-	mBytes   *obs.Counter
+	mAppends     *obs.Counter
+	mFsyncs      *obs.Counter
+	mBytes       *obs.Counter
+	mBatchSize   *obs.Histogram
+	mFsyncsSaved *obs.Counter
+}
+
+// gcWaiter is one Append blocked on its batch's fsync.
+type gcWaiter struct {
+	done chan error // buffered(1); receives exactly one completion
+	end  int        // offset into l.buf just past this waiter's record
+}
+
+// groupActive reports whether appends go through the group committer.
+func (l *Log) groupActive() bool {
+	return l.opts.GroupCommit && l.opts.Fsync == FsyncAlways
 }
 
 // Open creates or recovers the log in opts.Dir. On return the recovered
@@ -166,6 +207,9 @@ func Open(opts Options) (*Log, error) {
 	if opts.SnapshotEvery <= 0 {
 		opts.SnapshotEvery = 256
 	}
+	if opts.GroupMaxBatch <= 0 {
+		opts.GroupMaxBatch = 64
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
@@ -178,6 +222,8 @@ func Open(opts Options) (*Log, error) {
 		l.mAppends = opts.Obs.Counter("piye_wal_appends_total", "log", scope)
 		l.mFsyncs = opts.Obs.Counter("piye_wal_fsyncs_total", "log", scope)
 		l.mBytes = opts.Obs.Counter("piye_wal_bytes_total", "log", scope)
+		l.mBatchSize = opts.Obs.Histogram("piye_wal_group_batch_size", batchBuckets, "log", scope)
+		l.mFsyncsSaved = opts.Obs.Counter("piye_wal_group_fsyncs_saved_total", "log", scope)
 	}
 
 	// Leftover temp files are debris from a crash mid-snapshot; the
@@ -202,8 +248,21 @@ func Open(opts Options) (*Log, error) {
 		l.wg.Add(1)
 		go l.syncLoop(l.stop)
 	}
+	if l.groupActive() {
+		// The committer reuses the stop/wg pair; it never coexists with
+		// syncLoop because that runs only under FsyncInterval.
+		l.gcKick = make(chan struct{}, 1)
+		l.gcFull = make(chan struct{}, 1)
+		l.stop = make(chan struct{})
+		l.wg.Add(1)
+		go l.commitLoop(l.stop)
+	}
 	return l, nil
 }
+
+// batchBuckets sizes the group-commit batch histogram: batches are
+// counts of records, not latencies.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // recoverWAL replays the WAL file, truncating a torn tail and refusing
 // mid-log corruption.
@@ -310,10 +369,21 @@ func (l *Log) Sizes() (wal, snap int64) {
 // Append stages one record and applies the fsync policy. Under
 // FsyncAlways the record is durable when Append returns; under the other
 // policies it may ride in memory until the next tick, Sync or snapshot.
+// With group commit, Append blocks (outside the log lock) until the
+// batch fsync covering its record returns — same contract, shared fsync.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.appendLocked(l.seq+1, payload)
+	seq, w, err := l.appendLocked(l.seq+1, payload)
+	l.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if w != nil {
+		if err := <-w.done; err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
 }
 
 // AppendEntry appends a record at an exact sequence number — the apply
@@ -323,21 +393,32 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // a diverging standby to resync instead of silently rewriting history.
 func (l *Log) AppendEntry(seq uint64, payload []byte) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.deadErr != nil {
+		l.mu.Unlock()
 		return l.deadErr
 	}
 	if seq != l.seq+1 {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: got %d, want %d", ErrSequence, seq, l.seq+1)
 	}
-	_, err := l.appendLocked(seq, payload)
+	_, w, err := l.appendLocked(seq, payload)
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if w != nil {
+		err = <-w.done
+	}
 	return err
 }
 
-// appendLocked is the shared append body; seq must be l.seq+1.
-func (l *Log) appendLocked(seq uint64, payload []byte) (uint64, error) {
+// appendLocked is the shared append body; seq must be l.seq+1. When the
+// group committer is running it returns a non-nil waiter the caller must
+// receive from after releasing the lock; the received value is the
+// append's durability verdict.
+func (l *Log) appendLocked(seq uint64, payload []byte) (uint64, *gcWaiter, error) {
 	if l.deadErr != nil {
-		return 0, l.deadErr
+		return 0, nil, l.deadErr
 	}
 	l.seq = seq
 	l.buf = AppendRecord(l.buf, l.seq, payload)
@@ -349,19 +430,36 @@ func (l *Log) appendLocked(seq uint64, payload []byte) (uint64, error) {
 		// Power loss with the record still in cache: it never existed.
 		l.buf = nil
 		l.entries = l.entries[:len(l.entries)-1]
-		return 0, l.die()
+		return 0, nil, l.die()
 	}
 	switch l.opts.Fsync {
 	case FsyncAlways:
+		if l.groupActive() && !l.gcDone {
+			w := &gcWaiter{done: make(chan error, 1), end: len(l.buf)}
+			l.gcWaiters = append(l.gcWaiters, w)
+			kick(l.gcKick)
+			if len(l.gcWaiters) >= l.opts.GroupMaxBatch {
+				kick(l.gcFull)
+			}
+			return l.seq, w, nil
+		}
 		if err := l.flushLocked(true); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	case FsyncNever:
 		if err := l.flushLocked(false); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
-	return l.seq, nil
+	return l.seq, nil, nil
+}
+
+// kick signals a buffered(1) wakeup channel without blocking.
+func kick(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
 }
 
 // signalLocked wakes every Changed waiter.
@@ -381,13 +479,28 @@ func (l *Log) Sync() error {
 	return l.flushLocked(true)
 }
 
-// flushLocked writes staged bytes to the WAL file and optionally fsyncs.
+// flushLocked writes every staged byte to the WAL file and optionally
+// fsyncs — the whole-buffer case of flushToLocked.
 func (l *Log) flushLocked(sync bool) error {
-	if len(l.buf) > 0 {
+	return l.flushToLocked(len(l.buf), sync)
+}
+
+// flushToLocked writes the first end staged bytes to the WAL file and
+// optionally fsyncs. After a synced flush every group-commit waiter
+// whose record the write covered is acknowledged, and the offsets of
+// the rest are re-based onto the remaining buffer.
+func (l *Log) flushToLocked(end int, sync bool) error {
+	if end > 0 {
+		if l.opts.Failpoints.hit(FPGroupCommit) {
+			// Power loss with the whole batch still in cache: no byte
+			// of it reaches the file.
+			l.buf = nil
+			return l.die()
+		}
 		if l.opts.Failpoints.hit(FPAppendWrite) {
 			// Tear the write: a prefix reaches the platter, the rest
 			// never does.
-			torn := l.buf[:len(l.buf)/2]
+			torn := l.buf[:end/2]
 			if len(torn) > 0 {
 				n, _ := l.f.Write(torn)
 				l.walSize += int64(n)
@@ -395,13 +508,17 @@ func (l *Log) flushLocked(sync bool) error {
 			l.buf = nil
 			return l.die()
 		}
-		n, err := l.f.Write(l.buf)
+		n, err := l.f.Write(l.buf[:end])
 		l.walSize += int64(n)
 		l.mBytes.Add(uint64(n))
 		if err != nil {
 			return fmt.Errorf("durable: wal write: %w", err)
 		}
-		l.buf = l.buf[:0]
+		if end == len(l.buf) {
+			l.buf = l.buf[:0] // keep the array for reuse
+		} else {
+			l.buf = l.buf[end:]
+		}
 	}
 	if l.opts.Failpoints.hit(FPAppendSync) {
 		return l.die()
@@ -411,15 +528,111 @@ func (l *Log) flushLocked(sync bool) error {
 			return fmt.Errorf("durable: wal fsync: %w", err)
 		}
 		l.mFsyncs.Inc()
+		l.ackWaitersLocked(end)
 	}
 	return nil
 }
 
+// ackWaitersLocked completes every waiter whose record the just-synced
+// flush of buf[:flushed] covered and shifts the offsets of the rest.
+func (l *Log) ackWaitersLocked(flushed int) {
+	if len(l.gcWaiters) == 0 {
+		return
+	}
+	kept := l.gcWaiters[:0]
+	for _, w := range l.gcWaiters {
+		if w.end <= flushed {
+			w.done <- nil
+		} else {
+			w.end -= flushed
+			kept = append(kept, w)
+		}
+	}
+	l.gcWaiters = kept
+}
+
+// completeWaitersLocked resolves every pending waiter with err — the
+// path for crashes, write errors and snapshot subsumption, where no
+// per-waiter byte accounting applies.
+func (l *Log) completeWaitersLocked(err error) {
+	for _, w := range l.gcWaiters {
+		w.done <- err
+	}
+	l.gcWaiters = nil
+}
+
 // die marks the log dead after an injected crash; every later call
 // returns ErrCrashed, like syscalls in a process that no longer exists.
+// Waiters blocked on a batch fsync learn of the crash here — their
+// records were never acknowledged, so fail-closed callers refuse.
 func (l *Log) die() error {
 	l.deadErr = ErrCrashed
+	l.completeWaitersLocked(ErrCrashed)
 	return ErrCrashed
+}
+
+// commitLoop is the group committer: it wakes when appends are staged,
+// optionally holds for the batch to fill, then flushes batches of at
+// most GroupMaxBatch records with one write+fsync each.
+func (l *Log) commitLoop(stop <-chan struct{}) {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-stop:
+			l.finishGroup()
+			return
+		case <-l.gcKick:
+		}
+		if hold := l.opts.GroupMaxHold; hold > 0 {
+			t := time.NewTimer(hold)
+			select {
+			case <-t.C:
+			case <-l.gcFull:
+				t.Stop()
+			case <-stop:
+				t.Stop()
+				l.finishGroup()
+				return
+			}
+		}
+		l.commitBatches()
+	}
+}
+
+// commitBatches drains the staged waiters, one synced flush per batch.
+func (l *Log) commitBatches() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.gcWaiters) > 0 {
+		if l.deadErr != nil {
+			l.completeWaitersLocked(l.deadErr)
+			return
+		}
+		n := len(l.gcWaiters)
+		if n > l.opts.GroupMaxBatch {
+			n = l.opts.GroupMaxBatch
+		}
+		end := l.gcWaiters[n-1].end
+		if err := l.flushToLocked(end, true); err != nil {
+			// The batch's durability is unknown; nobody in it was
+			// acknowledged, so everybody still pending fails closed.
+			l.completeWaitersLocked(err)
+			return
+		}
+		l.mBatchSize.Observe(float64(n))
+		l.mFsyncsSaved.Add(uint64(n - 1))
+	}
+}
+
+// finishGroup is the committer's shutdown drain: flush whatever is
+// staged, then mark the group path done so a late Append (between this
+// drain and Close re-acquiring the lock) flushes inline instead of
+// waiting for a committer that no longer exists.
+func (l *Log) finishGroup() {
+	l.mu.Lock()
+	l.gcDone = true
+	l.mu.Unlock()
+	l.commitBatches()
 }
 
 // syncLoop is the FsyncInterval background ticker.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"sync"
 )
 
 // WAL wire format. Every record is self-delimiting and self-checking so
@@ -44,19 +45,35 @@ var errShortRecord = errors.New("durable: record extends past end of data")
 // impossible length, unknown version).
 var errBadRecord = errors.New("durable: invalid record")
 
+// bodyPool recycles record-body scratch buffers across appends: the
+// body exists only to be checksummed and copied into dst, so paying a
+// fresh allocation per append is pure garbage-collector load on the
+// ledger's hottest write path.
+var bodyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
 // AppendRecord appends one encoded record to dst and returns the
 // extended slice.
 func AppendRecord(dst []byte, seq uint64, payload []byte) []byte {
-	body := make([]byte, 1+8+len(payload))
-	body[0] = recordVersion
-	binary.LittleEndian.PutUint64(body[1:9], seq)
-	copy(body[9:], payload)
+	bp := bodyPool.Get().(*[]byte)
+	body := append((*bp)[:0], recordVersion)
+	var seqb [8]byte
+	binary.LittleEndian.PutUint64(seqb[:], seq)
+	body = append(body, seqb[:]...)
+	body = append(body, payload...)
 
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
 	dst = append(dst, hdr[:]...)
-	return append(dst, body...)
+	dst = append(dst, body...)
+	*bp = body
+	bodyPool.Put(bp)
+	return dst
 }
 
 // DecodeRecord decodes the record at the start of b, returning its

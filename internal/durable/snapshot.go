@@ -211,6 +211,10 @@ func (l *Log) saveSnapshotLocked(seq uint64, state []byte) error {
 	// crash anywhere in here is safe — recovery skips records at or
 	// below the snapshot sequence.
 	l.buf = nil
+	// Any append still waiting on a batch fsync is durable now: the
+	// installed snapshot covers its sequence, which is a stronger
+	// guarantee than the fsync it was waiting for.
+	l.completeWaitersLocked(nil)
 	walTmp := filepath.Join(l.opts.Dir, walTmpName)
 	wf, err := os.OpenFile(walTmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {

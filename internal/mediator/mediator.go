@@ -86,6 +86,16 @@ type Config struct {
 	// loss aggregation and the release ledger run on every query, cache
 	// hit or not. 0 disables caching. Invalidated by RefreshSchema.
 	PlanCache int
+	// Coalesce merges concurrent identical queries from the same
+	// requester into one shared pipeline execution (singleflight):
+	// followers wait for the leader's parse/route/fan-out/integrate and
+	// share its result, while the controls that consume per-requester
+	// state — loss control, the release ledger, history recording — run
+	// once per caller, so no query escapes the ledger by arriving while
+	// its twin is in flight. Queries from different requesters never
+	// share an execution. Invalidated by RefreshSchema like the plan
+	// cache.
+	Coalesce bool
 	// Obs, when non-nil, receives the mediator's metrics (query and
 	// refusal counters, per-stage and per-source latencies, cache and
 	// warehouse counters, breaker state, WAL counters) under the
@@ -119,6 +129,12 @@ type Mediator struct {
 	plans   *qcache.Cache         // parse cache; nil when disabled
 	obs     *medObs               // metric handles; nil when uninstrumented
 	admit   *admission.Controller // nil = admit everything
+
+	// flights are the in-progress shared executions coalesced queries
+	// join, keyed by requester + normalized text. Guarded by flightMu
+	// (never held across the pipeline — only around map bookkeeping).
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	mu              sync.RWMutex
 	schema          *xmltree.Summary            // mediated schema (merged partial summaries)
@@ -205,6 +221,7 @@ func New(cfg Config) (*Mediator, error) {
 		cfg:      cfg,
 		matcher:  schemamatch.NewMatcher(),
 		plans:    qcache.New(cfg.PlanCache),
+		flights:  map[string]*flight{},
 		bySource: map[string]*xmltree.Summary{},
 		ledger:   newReleaseLedger(),
 	}
@@ -239,6 +256,10 @@ func New(cfg Config) (*Mediator, error) {
 		}, "scope", "mediator")
 		cfg.Obs.GaugeFunc("piye_plan_cache_entries", func() float64 {
 			return float64(m.plans.Len())
+		}, "scope", "mediator")
+		cfg.Obs.Help("piye_plan_cache_hit_ratio", "Plan/parse cache lifetime hit ratio (0 until the first lookup).")
+		cfg.Obs.GaugeFunc("piye_plan_cache_hit_ratio", func() float64 {
+			return m.plans.HitRate()
 		}, "scope", "mediator")
 		cfg.Obs.Help("piye_warehouse_hits_total", "Hybrid-warehouse hits.")
 		cfg.Obs.CounterFunc("piye_warehouse_hits_total", func() float64 {
@@ -356,6 +377,15 @@ func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
 		m.wh.Invalidate("")
 	}
 	m.plans.Purge()
+	// Forget in-flight coalesced executions in the same critical section
+	// as the plan purge: a query arriving after the refresh must start a
+	// fresh execution against the refreshed schema, never join a flight
+	// whose plan was just purged. Leaders still running complete their
+	// pre-refresh followers (they all arrived pre-refresh) and find
+	// themselves absent from the new map, which is fine.
+	m.flightMu.Lock()
+	m.flights = map[string]*flight{}
+	m.flightMu.Unlock()
 	return nil
 }
 
@@ -494,9 +524,81 @@ func (m *Mediator) brownout(piqlText, requester string) *Integrated {
 // mediator runs ungated), for experiments and tests.
 func (m *Mediator) AdmissionStats() admission.Stats { return m.admit.Stats() }
 
-// queryStages is the pipeline body, with one span per stage and one per
-// source call.
+// flight is one in-progress shared pipeline execution. The first caller
+// of a (requester, normalized text) pair becomes the leader and runs the
+// pipeline; identical concurrent callers become followers, wait on done
+// and share sh/err. Per-caller controls run in finalize, never here.
+type flight struct {
+	done chan struct{}
+	sh   *sharedExec
+	err  error
+}
+
+// sharedExec is what one pipeline execution yields before any
+// per-caller control has run: the parsed query and the integrated
+// (sorted, limited) result. It is immutable once published to a flight.
+type sharedExec struct {
+	q         *piql.Query
+	canonical string
+	out       *Integrated
+}
+
+// queryStages is the pipeline body: a shared execution phase (possibly
+// coalesced across concurrent identical callers) followed by the
+// per-caller control phase.
 func (m *Mediator) queryStages(ctx context.Context, piqlText, requester string, trace *obs.Trace) (*Integrated, error) {
+	sh, err := m.executeCoalesced(ctx, piqlText, requester, trace)
+	if err != nil {
+		return nil, err
+	}
+	return m.finalize(sh, requester, trace)
+}
+
+// executeCoalesced runs the shared phase through the singleflight group
+// when coalescing is enabled. The flight key includes the requester:
+// queries from different requesters never share an execution, so
+// per-source policy enforcement always sees the true requester.
+func (m *Mediator) executeCoalesced(ctx context.Context, piqlText, requester string, trace *obs.Trace) (*sharedExec, error) {
+	if !m.cfg.Coalesce {
+		return m.execute(ctx, piqlText, requester, trace)
+	}
+	key := requester + "\x00" + qcache.Normalize(piqlText)
+	ts := m.obs.now()
+	m.flightMu.Lock()
+	if f, ok := m.flights[key]; ok {
+		m.flightMu.Unlock()
+		m.obs.coalesced(false)
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			m.obs.stage(trace, "coalesce", ts, spanOutcome(ctx.Err()))
+			return nil, ctx.Err()
+		}
+		m.obs.stage(trace, "coalesce", ts, spanOutcome(f.err))
+		return f.sh, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	m.flights[key] = f
+	m.flightMu.Unlock()
+	m.obs.coalesced(true)
+	f.sh, f.err = m.execute(ctx, piqlText, requester, trace)
+	m.flightMu.Lock()
+	// Delete only our own entry: RefreshSchema may have replaced the map
+	// mid-flight, and the key may already belong to a younger flight.
+	if m.flights[key] == f {
+		delete(m.flights, key)
+	}
+	m.flightMu.Unlock()
+	close(f.done)
+	return f.sh, f.err
+}
+
+// execute is the shared pipeline phase: parse, warehouse lookup,
+// routing, fan-out, integration, global sort/limit. Everything here is
+// a pure function of (query, requester, source state) — nothing
+// consumes or updates per-requester control state, which is what makes
+// sharing the execution across coalesced callers safe.
+func (m *Mediator) execute(ctx context.Context, piqlText, requester string, trace *obs.Trace) (*sharedExec, error) {
 	ts := m.obs.now()
 	q, canonical, err := m.parseCached(piqlText)
 	m.obs.stage(trace, "parse", ts, spanOutcome(err))
@@ -511,9 +613,9 @@ func (m *Mediator) queryStages(ctx context.Context, piqlText, requester string, 
 		res, ok := m.wh.Get(whKey)
 		if ok {
 			m.obs.stage(trace, "warehouse", ts, obs.OutcomeAnswered)
-			m.record(HistoryEntry{Requester: requester, Query: canonical, Sources: []string{"warehouse"}})
-			m.maybeSnapshot()
-			return &Integrated{Result: res, FromWarehouse: true, Answered: []string{"warehouse"}}, nil
+			return &sharedExec{q: q, canonical: canonical, out: &Integrated{
+				Result: res, FromWarehouse: true, Answered: []string{"warehouse"},
+			}}, nil
 		}
 		m.obs.stage(trace, "warehouse", ts, obs.OutcomeSkipped)
 	}
@@ -594,21 +696,11 @@ func (m *Mediator) queryStages(ctx context.Context, piqlText, requester string, 
 		return nil, err
 	}
 
-	// Privacy Control: the aggregated loss must respect the requester's
-	// budget — integrating cannot launder a violation (Section 5:
-	// computed per-source loss "may not hold after the results are
-	// integrated").
-	ts = m.obs.now()
-	if out.AggregatedLoss > q.MaxLoss {
-		m.obs.stage(trace, "control", ts, obs.RefusedOutcome(refusal.LossBudget.String()))
-		return nil, fmt.Errorf("mediator: integrated information loss %.2f exceeds the requester's MAXLOSS %.2f",
-			out.AggregatedLoss, q.MaxLoss)
-	}
-	m.obs.stage(trace, "control", ts, obs.OutcomeAnswered)
-
 	// Global ordering and limit: per-source ORDER BY does not survive
 	// merging, and a per-source LIMIT n yields up to n rows per source.
-	// Re-apply both on the integrated result.
+	// Re-apply both on the integrated result. This runs once per shared
+	// execution — the result published to coalesced followers is already
+	// in its final shape and is read-only from here on.
 	if q.OrderBy != "" {
 		// Ignore a missing column: a source-side mitigation may have
 		// dropped it, in which case order is unspecified, not an error.
@@ -618,10 +710,39 @@ func (m *Mediator) queryStages(ctx context.Context, piqlText, requester string, 
 		integrated.Rows = integrated.Rows[:q.Limit]
 	}
 
+	out.Result = integrated
+	return &sharedExec{q: q, canonical: canonical, out: out}, nil
+}
+
+// finalize is the per-caller control phase: loss control, the release
+// ledger, warehouse materialization and history recording. Coalesced
+// followers each pass through here with their own requester and trace,
+// so sharing an execution never lets a query skip a control — exactly
+// the plan-cache contract, extended to in-flight sharing.
+func (m *Mediator) finalize(sh *sharedExec, requester string, trace *obs.Trace) (*Integrated, error) {
+	q, out := sh.q, sh.out
+	if out.FromWarehouse {
+		m.record(HistoryEntry{Requester: requester, Query: sh.canonical, Sources: []string{"warehouse"}})
+		m.maybeSnapshot()
+		return out, nil
+	}
+
+	// Privacy Control: the aggregated loss must respect the requester's
+	// budget — integrating cannot launder a violation (Section 5:
+	// computed per-source loss "may not hold after the results are
+	// integrated").
+	ts := m.obs.now()
+	if out.AggregatedLoss > q.MaxLoss {
+		m.obs.stage(trace, "control", ts, obs.RefusedOutcome(refusal.LossBudget.String()))
+		return nil, fmt.Errorf("mediator: integrated information loss %.2f exceeds the requester's MAXLOSS %.2f",
+			out.AggregatedLoss, q.MaxLoss)
+	}
+	m.obs.stage(trace, "control", ts, obs.OutcomeAnswered)
+
 	// Release ledger: a requester's aggregate releases must not combine
 	// into a Figure 1 system (second-level enforcement across queries).
 	if q.IsAggregate() {
-		if rel, ok := classifyRelease(q, integrated); ok {
+		if rel, ok := classifyRelease(q, out.Result); ok {
 			ts = m.obs.now()
 			err := m.ledger.checkAndRecord(requester, rel, m.cfg.MaxDisclosure, m.cfg.LedgerTolerance)
 			m.obs.stage(trace, "ledger", ts, spanOutcome(err))
@@ -631,14 +752,13 @@ func (m *Mediator) queryStages(ctx context.Context, piqlText, requester string, 
 		}
 	}
 
-	out.Result = integrated
 	if m.wh != nil {
-		m.wh.Put(whKey, integrated)
+		m.wh.Put(requester+"|"+sh.canonical, out.Result)
 		m.wh.Tick()
 	}
 	m.record(HistoryEntry{
 		Requester: requester,
-		Query:     canonical,
+		Query:     sh.canonical,
 		Sources:   out.Answered,
 		Denied:    sortedKeys(out.Denied),
 	})
@@ -817,11 +937,17 @@ func (m *Mediator) dedupe(res *piql.Result) (*piql.Result, int, error) {
 		filter *linkage.Bitset
 	}
 	// The Bloom encoding of each row is independent, so it fans out
-	// across the worker pool; the greedy keep/drop scan below stays
-	// serial because each decision depends on every row kept before it.
-	keys, err := parallel.Map(context.Background(), len(out.Rows), m.cfg.Workers, func(i int) (keyed, error) {
-		v := out.Rows[i][col]
-		return keyed{block: linkage.BlockKey(m.cfg.LinkageSalt, v), filter: enc.Encode(v)}, nil
+	// across the worker pool — one task per contiguous chunk of rows,
+	// since a single encoding is too cheap to justify per-row dispatch.
+	// The greedy keep/drop scan below stays serial because each decision
+	// depends on every row kept before it.
+	keys := make([]keyed, len(out.Rows))
+	err = parallel.ForEachChunk(context.Background(), len(out.Rows), m.cfg.Workers, 0, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v := out.Rows[i][col]
+			keys[i] = keyed{block: linkage.BlockKey(m.cfg.LinkageSalt, v), filter: enc.Encode(v)}
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, 0, err

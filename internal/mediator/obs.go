@@ -20,7 +20,7 @@ import (
 // mediatorStages are the per-stage span and histogram names of the
 // Figure 2(b) pipeline. "source" spans (one per fanned-out source call)
 // additionally carry the source name.
-var mediatorStages = []string{"parse", "warehouse", "route", "fanout", "integrate", "control", "ledger"}
+var mediatorStages = []string{"parse", "coalesce", "warehouse", "route", "fanout", "integrate", "control", "ledger"}
 
 // srcCallObs are the per-source fan-out handles.
 type srcCallObs struct {
@@ -42,6 +42,12 @@ type medObs struct {
 	refusals  map[refusal.Reason]*obs.Counter
 	stages    map[string]*obs.Histogram
 	sources   map[string]*srcCallObs
+
+	// Coalescing counters: leaders ran the pipeline, followers shared a
+	// leader's execution. followers/(leaders+followers) is the in-flight
+	// hit rate.
+	coalLeader   *obs.Counter
+	coalFollower *obs.Counter
 }
 
 func newMedObs(reg *obs.Registry, tracer *obs.Tracer, sourceNames []string) *medObs {
@@ -54,6 +60,7 @@ func newMedObs(reg *obs.Registry, tracer *obs.Tracer, sourceNames []string) *med
 	reg.Help("piye_mediator_stage_seconds", "Per-stage latency of the mediation pipeline.")
 	reg.Help("piye_mediator_source_calls_total", "Fan-out calls per source by outcome.")
 	reg.Help("piye_mediator_source_seconds", "Fan-out call latency per source.")
+	reg.Help("piye_mediator_coalesce_total", "Coalesced query executions: leaders ran the pipeline, followers joined one in flight.")
 	o := &medObs{
 		tracer:    tracer,
 		answered:  reg.Counter("piye_mediator_queries_total", "outcome", "answered"),
@@ -65,6 +72,9 @@ func newMedObs(reg *obs.Registry, tracer *obs.Tracer, sourceNames []string) *med
 		refusals:  map[refusal.Reason]*obs.Counter{},
 		stages:    map[string]*obs.Histogram{},
 		sources:   map[string]*srcCallObs{},
+
+		coalLeader:   reg.Counter("piye_mediator_coalesce_total", "role", "leader"),
+		coalFollower: reg.Counter("piye_mediator_coalesce_total", "role", "follower"),
 	}
 	// Pre-register every refusal reason so /metrics shows zero counts
 	// instead of absent series.
@@ -112,6 +122,18 @@ func (o *medObs) stage(trace *obs.Trace, name string, t0 time.Time, outcome stri
 	d := time.Since(t0)
 	o.stages[name].Observe(d.Seconds())
 	trace.Record(name, "", t0, d, outcome)
+}
+
+// coalesced counts one coalesced-execution participant by role.
+func (o *medObs) coalesced(leader bool) {
+	if o == nil {
+		return
+	}
+	if leader {
+		o.coalLeader.Inc()
+	} else {
+		o.coalFollower.Inc()
+	}
 }
 
 // sourceCall records one fanned-out source call; called from the fan-out

@@ -33,6 +33,16 @@ type DurabilityConfig struct {
 	FsyncInterval time.Duration
 	// SnapshotEvery is the compaction cadence in WAL appends.
 	SnapshotEvery int
+	// GroupCommit batches concurrent WAL appends into one fsync under
+	// FsyncAlways (see durable.Options.GroupCommit). The fail-closed
+	// contract is unchanged: a release is granted only after the fsync
+	// covering its batch returns.
+	GroupCommit bool
+	// GroupMaxBatch caps the appends per batched fsync (default 64).
+	GroupMaxBatch int
+	// GroupMaxHold is how long the committer may hold a batch open for
+	// stragglers (default 0: commit as soon as the committer runs).
+	GroupMaxHold time.Duration
 	// Failpoints injects crash sites for recovery testing.
 	Failpoints *durable.Failpoints
 }
@@ -118,6 +128,9 @@ func (m *Mediator) openDurable(cfg DurabilityConfig) error {
 		Fsync:         cfg.Fsync,
 		FsyncInterval: cfg.FsyncInterval,
 		SnapshotEvery: cfg.SnapshotEvery,
+		GroupCommit:   cfg.GroupCommit,
+		GroupMaxBatch: cfg.GroupMaxBatch,
+		GroupMaxHold:  cfg.GroupMaxHold,
 		Failpoints:    cfg.Failpoints,
 		Obs:           m.cfg.Obs,
 		ObsScope:      "mediator",

@@ -131,6 +131,49 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	return ctx.Err()
 }
 
+// ChunkSize picks a contiguous batch width for n independent items
+// fanned across `workers`: roughly one chunk per worker, clamped to
+// [16, 256] so tiny inputs do not pay one dispatch (and one cache-lock
+// round trip) per item while huge inputs still split finely enough to
+// rebalance across stragglers.
+func ChunkSize(n, workers int) int {
+	w := Workers(workers)
+	c := (n + w - 1) / w
+	if c < 16 {
+		c = 16
+	}
+	if c > 256 {
+		c = 256
+	}
+	return c
+}
+
+// ForEachChunk runs fn(lo, hi) over contiguous half-open ranges
+// covering [0, n), at most `workers` ranges concurrently. chunk <= 0
+// selects ChunkSize(n, workers). It is the batched sibling of ForEach:
+// kernels whose per-item work is cheap relative to dispatch (or that
+// want to amortize a lock acquisition over a run of items) process a
+// slice per task instead of an index per task. Error, cancellation and
+// panic semantics are ForEach's; determinism is likewise the caller's
+// (fn writes only to [lo, hi) of a pre-sized output).
+func ForEachChunk(ctx context.Context, n, workers, chunk int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = ChunkSize(n, workers)
+	}
+	nchunks := (n + chunk - 1) / chunk
+	return ForEach(ctx, nchunks, workers, func(c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
 // Map applies fn to every index of a length-n input and collects the
 // results in order: out[i] = fn(i). It is ForEach plus the pre-sized
 // output slice every kernel otherwise writes by hand.

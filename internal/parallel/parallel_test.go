@@ -166,3 +166,54 @@ func TestWorkersDefault(t *testing.T) {
 		t.Fatal("explicit worker counts pass through")
 	}
 }
+
+func TestChunkSizeClamps(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{10, 4, 16},    // below min: clamp up
+		{1024, 4, 256}, // above max: clamp down
+		{400, 4, 100},  // in range: one chunk per worker
+		{1, 1, 16},     // tiny input still min-clamped
+	}
+	for _, c := range cases {
+		if got := ChunkSize(c.n, c.workers); got != c.want {
+			t.Errorf("ChunkSize(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+func TestForEachChunkCoversEveryIndexOnce(t *testing.T) {
+	for _, chunk := range []int{0, 1, 7, 16, 1000} {
+		const n = 237
+		var hit [n]atomic.Int64
+		err := ForEachChunk(context.Background(), n, 8, chunk, func(lo, hi int) error {
+			if lo >= hi || hi > n {
+				return fmt.Errorf("bad range [%d, %d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hit[i].Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		for i := range hit {
+			if hit[i].Load() != 1 {
+				t.Fatalf("chunk %d: index %d ran %d times", chunk, i, hit[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachChunkPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEachChunk(context.Background(), 100, 4, 10, func(lo, hi int) error {
+		if lo == 50 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Errorf("err = %v, want boom", err)
+	}
+}

@@ -160,3 +160,19 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	}
 	return c.hits.Load(), c.misses.Load()
 }
+
+// HitRate returns the lifetime hit ratio in [0,1] — hits over total
+// lookups, 0 before the first lookup (and on a nil cache). The two
+// counter loads are not atomic together, so under concurrent lookups
+// the ratio is approximate by at most one event; /metrics gauges do
+// not need better.
+func (c *Cache) HitRate() float64 {
+	if c == nil {
+		return 0
+	}
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -8,10 +8,15 @@ import (
 	"sync"
 
 	"privateiye/internal/linkage"
+	"privateiye/internal/obs"
 	"privateiye/internal/psi"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/xmltree"
 )
+
+// psiBatchBuckets are the batch-size histogram bounds for whole-column
+// PSI calls (items per call, powers of two).
+var psiBatchBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
 
 // Endpoint is the mediator's view of a remote source: everything the
 // mediation engine of Figure 2(b) needs, whether the source runs
@@ -58,8 +63,73 @@ type Local struct {
 	LinkageSalt []byte
 	Group       *psi.Group
 
-	mu    sync.Mutex
-	party *psi.Party
+	// Coalesce merges concurrent identical whole-column calls —
+	// PSIBlinded and LinkageRecords for the same field — into one shared
+	// computation. Unlike query coalescing at the mediator, nothing here
+	// is per-requester (neither call even carries one), so sharing the
+	// result is unconditionally safe; the knob exists because the win
+	// only materializes when several integration rounds race.
+	Coalesce bool
+
+	mu     sync.Mutex
+	party  *psi.Party
+	mBatch *obs.Histogram // items per whole-column PSI call; nil-safe
+
+	colMu  sync.Mutex
+	colFly map[string]*colFlight
+}
+
+// colFlight is one in-progress shared column computation.
+type colFlight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// sharedColumn runs compute once per concurrent burst of identical
+// column requests: the first caller computes, the rest wait and share.
+func (l *Local) sharedColumn(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	if !l.Coalesce {
+		return compute()
+	}
+	l.colMu.Lock()
+	if l.colFly == nil {
+		l.colFly = map[string]*colFlight{}
+	}
+	if f, ok := l.colFly[key]; ok {
+		l.colMu.Unlock()
+		l.colObs(false)
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &colFlight{done: make(chan struct{})}
+	l.colFly[key] = f
+	l.colMu.Unlock()
+	l.colObs(true)
+	f.val, f.err = compute()
+	l.colMu.Lock()
+	delete(l.colFly, key)
+	l.colMu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// colObs counts one coalesced-column participant by role.
+func (l *Local) colObs(leader bool) {
+	reg := l.Src.cfg.Obs
+	if reg == nil {
+		return
+	}
+	role := "follower"
+	if leader {
+		role = "leader"
+	}
+	reg.Help("piye_source_coalesce_total", "Coalesced whole-column linkage computations: leaders computed, followers shared one in flight.")
+	reg.Counter("piye_source_coalesce_total", "source", l.Src.Name(), "role", role).Inc()
 }
 
 // NewLocal builds a local endpoint.
@@ -138,6 +208,8 @@ func (l *Local) psiParty() (*psi.Party, error) {
 				_, _, e := party.Stats()
 				return float64(e)
 			}, "source", name)
+			reg.Help("piye_psi_batch_items", "Items per whole-column PSI call (batched kernel entry).")
+			l.mBatch = reg.Histogram("piye_psi_batch_items", psiBatchBuckets, "source", name)
 		}
 	}
 	return l.party, nil
@@ -158,12 +230,19 @@ func (l *Local) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, err := l.psiParty()
+	v, err := l.sharedColumn(ctx, "psi-blind\x00"+field, func() (any, error) {
+		p, err := l.psiParty()
+		if err != nil {
+			return nil, err
+		}
+		_, vals := l.items(field)
+		l.mBatch.Observe(float64(len(vals)))
+		return psi.MarshalElems(p.BlindBatch(vals)), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	_, vals := l.items(field)
-	return psi.MarshalElems(p.Blind(vals)), nil
+	return v.(*xmltree.Node), nil
 }
 
 // PSIExponentiate implements Endpoint.
@@ -179,7 +258,8 @@ func (l *Local) PSIExponentiate(ctx context.Context, elems *xmltree.Node) (*xmlt
 	if err != nil {
 		return nil, err
 	}
-	out, err := p.Exponentiate(in)
+	l.mBatch.Observe(float64(len(in)))
+	out, err := p.ExponentiateBatch(in)
 	if err != nil {
 		return nil, err
 	}
@@ -191,12 +271,18 @@ func (l *Local) LinkageRecords(ctx context.Context, field string) ([]linkage.Enc
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	enc, err := linkage.NewEncoder(linkageM, linkageK, linkageQ, l.LinkageSalt)
+	v, err := l.sharedColumn(ctx, "linkage\x00"+field, func() (any, error) {
+		enc, err := linkage.NewEncoder(linkageM, linkageK, linkageQ, l.LinkageSalt)
+		if err != nil {
+			return nil, err
+		}
+		ids, vals := l.items(field)
+		return enc.EncodeRecords(ids, vals, l.Src.cfg.Workers)
+	})
 	if err != nil {
 		return nil, err
 	}
-	ids, vals := l.items(field)
-	return enc.EncodeRecords(ids, vals, l.Src.cfg.Workers)
+	return v.([]linkage.EncodedRecord), nil
 }
 
 // PSIDoubleBlind is a convenience for tests and the mediator: it completes
@@ -209,7 +295,8 @@ func PSIDoubleBlind(ctx context.Context, initiator *Local, responder Endpoint, f
 		return nil, nil, err
 	}
 	_, vals := initiator.items(field)
-	blindedOwn := psi.MarshalElems(p.Blind(vals))
+	initiator.mBatch.Observe(float64(len(vals)))
+	blindedOwn := psi.MarshalElems(p.BlindBatch(vals))
 	ownDouble, err := responder.PSIExponentiate(ctx, blindedOwn)
 	if err != nil {
 		return nil, nil, err
@@ -226,7 +313,7 @@ func PSIDoubleBlind(ctx context.Context, initiator *Local, responder Endpoint, f
 	if err != nil {
 		return nil, nil, err
 	}
-	theirs, err = p.Exponentiate(theirElems)
+	theirs, err = p.ExponentiateBatch(theirElems)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -185,6 +185,10 @@ func New(cfg Config) (*Source, error) {
 		cfg.Obs.GaugeFunc("piye_plan_cache_entries", func() float64 {
 			return float64(s.plans.Len())
 		}, "scope", scope)
+		cfg.Obs.Help("piye_plan_cache_hit_ratio", "Plan/parse cache lifetime hit ratio (0 until the first lookup).")
+		cfg.Obs.GaugeFunc("piye_plan_cache_hit_ratio", func() float64 {
+			return s.plans.HitRate()
+		}, "scope", scope)
 	}
 	return s, nil
 }
