@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-fast test-race test-short test-integration cover bench bench-quick bench-batch bench-guard bench-baseline attack experiments examples fmt fuzz crash
+.PHONY: all build vet test test-fast test-race test-short test-integration test-shard cover bench bench-quick bench-batch bench-guard bench-baseline attack experiments examples fmt fuzz crash
 
 all: build vet test
 
@@ -32,6 +32,13 @@ test-short:
 test-integration:
 	$(GO) test -count=1 -race ./internal/e2e/
 
+# The sharded mediator tier: ring placement properties and the router
+# unit suite, then the three-shard end-to-end harness (stickiness,
+# drain/re-route, refusals surviving the hop) under the race detector.
+test-shard:
+	$(GO) test -count=1 -race ./internal/shard/
+	$(GO) test -count=1 -race -run TestShardedTierEndToEnd ./internal/e2e/
+
 cover:
 	$(GO) test -cover ./...
 
@@ -58,12 +65,15 @@ bench-guard:
 bench-baseline:
 	$(GO) run ./cmd/piye-bench -update-baseline bench/baseline.json
 
-# Short native-fuzzing runs over the two untrusted-input decoders: WAL
-# record decoding and the PIQL parser. Raise FUZZTIME for longer hunts.
+# Short native-fuzzing runs over the untrusted-input decoders and the
+# ring invariants: WAL record decoding, the PIQL parser, and shard
+# placement under arbitrary membership churn. Raise FUZZTIME for
+# longer hunts.
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/durable/
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/piql/
+	$(GO) test -run '^$$' -fuzz FuzzRingLookup -fuzztime $(FUZZTIME) ./internal/shard/
 
 # Crash-injection matrix: every durable-log failpoint under every fsync
 # policy, plus the mediator- and audit-level crash/restart suites.

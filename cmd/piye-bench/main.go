@@ -1,6 +1,6 @@
 // Command piye-bench runs the PRIVATE-IYE experiment harness: every table
 // and figure of EXPERIMENTS.md, printed as aligned text tables. E1–E4
-// regenerate the paper's Figure 1; E5–E23 measure the architecture's
+// regenerate the paper's Figure 1; E5–E24 measure the architecture's
 // design choices.
 //
 // Usage:
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E23)")
+	only := flag.String("only", "", "run only the named experiment (E1..E24)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	guard := flag.String("guard", "", "compare the perf-guard metrics against this baseline JSON and exit 1 on regression")
 	updateBaseline := flag.String("update-baseline", "", "measure the perf-guard metrics and write them to this baseline JSON")
@@ -163,6 +163,16 @@ func main() {
 				appendsPer, bursts, burstSize, psiItems = 10, 3, 8, 512
 			}
 			return experiments.E23Amortization(appendsPer, bursts, burstSize, psiItems)
+		})},
+		{"E24", wrap(func() (*experiments.Table, error) {
+			// Quick mode trims queries, not clients: fewer clients
+			// would make the sweep client-bound and understate the
+			// scaling the acceptance bar checks.
+			clients, queriesPer := 32, 40
+			if *quick {
+				clients, queriesPer = 32, 10
+			}
+			return experiments.E24RouterScaling(clients, queriesPer, []int{1, 2, 4})
 		})},
 	}
 

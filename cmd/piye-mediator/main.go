@@ -29,6 +29,7 @@ import (
 	"privateiye/internal/mediator"
 	"privateiye/internal/obs"
 	"privateiye/internal/resilience"
+	"privateiye/internal/shard"
 	"privateiye/internal/source"
 )
 
@@ -83,6 +84,10 @@ func main() {
 	epochDir := flag.String("epoch-dir", "", "directory persisting the fencing epoch (default: -state-dir)")
 	replicaLagMax := flag.Uint64("replica-lag-max", 0, "records of replication lag a standby tolerates while still reporting ready")
 	replicaHeartbeat := flag.Duration("replica-heartbeat", 0, "replication stream keepalive period (0 = default 500ms)")
+	shardID := flag.String("shard-id", "", "this mediator's name in a sharded tier (enables the requester ownership gate; needs -shard-peers)")
+	shardPeers := flag.String("shard-peers", "", "comma-separated names of every shard in the tier, this one included (must match the router's -shard list)")
+	shardSeed := flag.Uint64("shard-seed", shard.DefaultSeed, "ring placement seed (must match every shard and router in the tier)")
+	shardVnodes := flag.Int("shard-vnodes", 0, "virtual nodes per ring member (0 = default 16; must match the tier)")
 	flag.Parse()
 
 	if *salt == defaultSalt {
@@ -152,6 +157,18 @@ func main() {
 	if *admitBrownout && *whCap == 0 {
 		log.Print("piye-mediator: WARNING: -admit-brownout without -warehouse has no materializations to serve; overload sheds will fail with 503")
 	}
+	var shardCfg *mediator.ShardConfig
+	if *shardID != "" || *shardPeers != "" {
+		if *shardID == "" || *shardPeers == "" {
+			log.Fatal("piye-mediator: -shard-id and -shard-peers go together")
+		}
+		shardCfg = &mediator.ShardConfig{
+			ID:     *shardID,
+			Peers:  strings.Split(*shardPeers, ","),
+			Seed:   *shardSeed,
+			Vnodes: *shardVnodes,
+		}
+	}
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
 	var tracer *obs.Tracer
@@ -177,6 +194,7 @@ func main() {
 		Admission:         admit,
 		Brownout:          *admitBrownout,
 		Replica:           rep,
+		Shard:             shardCfg,
 	})
 	if err != nil {
 		log.Fatalf("piye-mediator: %v", err)
@@ -203,6 +221,10 @@ func main() {
 				log.Printf("piye-mediator: promoted to primary at epoch %d", epoch)
 			}
 		}()
+	}
+	if st := med.ShardInfo(); st != nil {
+		log.Printf("piye-mediator sharding: shard %s of %d peers (seed %d); requesters owned elsewhere answer 503 not-owner",
+			st.ID, len(st.Peers), st.Seed)
 	}
 	log.Printf("piye-mediator serving %d sources on %s (schema: %d paths)",
 		len(eps), *addr, med.MediatedSchema().Len())

@@ -1,0 +1,139 @@
+// Command piye-router fronts a sharded mediator tier: it terminates
+// /query, hashes the requester onto a seeded rendezvous ring, and
+// proxies to the owning shard with per-shard circuit breakers, retries
+// that honor Retry-After, and health-gated membership via each shard's
+// /readyz. Refusal semantics survive the hop: a 403 privacy refusal
+// stays 403 verbatim, capacity sheds keep their 429/503 + Retry-After,
+// and a draining shard's new requesters are re-routed to the
+// drain-adjusted owner.
+//
+// Usage:
+//
+//	piye-router -addr :7200 \
+//	    -shard shard-a=http://localhost:7100 \
+//	    -shard shard-b=http://localhost:7110 \
+//	    -shard shard-c=http://localhost:7120
+//
+// The -shard names, -seed and -vnodes must match every mediator's
+// -shard-id/-shard-peers/-shard-seed/-shard-vnodes, or the shards'
+// ownership gates will refuse traffic the router believed well-placed.
+//
+// Endpoints: POST /query (PIQL body, X-Requester header), GET /shards,
+// POST /shards/drain?name=X, POST /shards/undrain?name=X, /healthz,
+// /readyz, /metrics, /debug/trace.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"privateiye/internal/obs"
+	"privateiye/internal/resilience"
+	"privateiye/internal/shard"
+)
+
+type shardFlags []string
+
+func (s *shardFlags) String() string { return strings.Join(*s, ",") }
+func (s *shardFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":7200", "listen address")
+	var shards shardFlags
+	flag.Var(&shards, "shard", "shard as name=url (repeatable; names must match the mediators' -shard-id values)")
+	seed := flag.Uint64("seed", shard.DefaultSeed, "ring placement seed (must match every shard's -shard-seed)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default 16; must match the tier)")
+	retries := flag.Int("retries", 3, "attempts per proxied query (1 = no retry); retries honor the shard's Retry-After")
+	proxyTimeout := flag.Duration("proxy-timeout", 30*time.Second, "overall deadline per proxied query across retries")
+	brkFailures := flag.Int("breaker-failures", 5, "consecutive failures before a shard's circuit opens (0 = breaker off)")
+	brkCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit waits before a half-open probe")
+	healthEvery := flag.Duration("health-every", time.Second, "per-shard /readyz polling period (0 = no health gating)")
+	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "finished per-query traces kept for /debug/trace (0 = tracing off)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for /metrics, /debug/trace and /debug/pprof (empty = pprof off; /metrics and /debug/trace are always on -addr)")
+	flag.Parse()
+
+	if len(shards) == 0 {
+		log.Fatal("piye-router: at least one -shard name=url is required")
+	}
+	var backends []shard.Backend
+	for _, s := range shards {
+		parts := strings.SplitN(s, "=", 2)
+		backends = append(backends, shard.Backend{Name: parts[0], URL: parts[1]})
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*traceRing)
+	}
+
+	rt, err := shard.NewRouter(shard.RouterConfig{
+		Shards: backends,
+		Seed:   *seed,
+		Vnodes: *vnodes,
+		Retry: resilience.Policy{
+			MaxAttempts: *retries,
+			Timeout:     *proxyTimeout,
+		},
+		Breaker:        resilience.BreakerConfig{FailureThreshold: *brkFailures, OpenFor: *brkCooldown},
+		DisableBreaker: *brkFailures == 0,
+		HealthEvery:    *healthEvery,
+		Obs:            reg,
+		Trace:          tracer,
+	})
+	if err != nil {
+		log.Fatalf("piye-router: %v", err)
+	}
+	defer rt.Close()
+	log.Printf("piye-router fronting %d shards on %s (seed %d)", len(backends), *addr, *seed)
+
+	if *debugAddr != "" {
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(reg, tracer),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("piye-router debug surface (pprof, metrics, traces) on %s", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("piye-router: debug server: %v", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("piye-router: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("piye-router: shutting down, draining in-flight queries")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("piye-router: shutdown: %v", err)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"privateiye/internal/refusal"
 	"privateiye/internal/relational"
 	"privateiye/internal/resilience"
+	"privateiye/internal/shard"
 	"privateiye/internal/source"
 	"privateiye/internal/xmltree"
 )
@@ -334,6 +335,45 @@ type (
 	NotPrimaryError = mediator.NotPrimaryError
 	FencedError     = mediator.FencedError
 )
+
+// --- Sharding --------------------------------------------------------------
+
+// ShardConfig places a mediator in a requester-sharded tier: set it on
+// SystemConfig.Shard (every shard and router in the tier must share
+// Peers, Seed and Vnodes). ShardRing is the seeded rendezvous-hash ring
+// the tier routes by; ShardRouterConfig/ShardRouter are the piye-router
+// front tier that terminates /query and proxies to the owning shard.
+type (
+	ShardConfig       = mediator.ShardConfig
+	ShardRing         = shard.Ring
+	ShardMember       = shard.Member
+	ShardRouterConfig = shard.RouterConfig
+	ShardRouter       = shard.Router
+	ShardBackend      = shard.Backend
+)
+
+// NotOwnerError refuses a requester whose ring placement is a different
+// shard — this shard's ledger does not hold the requester's history, so
+// granting could miss a combination the owner would refuse (fail-closed
+// 503, retryable via the router). DrainingError refuses a NEW requester
+// on a draining shard for the router to re-route.
+type (
+	NotOwnerError = mediator.NotOwnerError
+	DrainingError = mediator.DrainingError
+)
+
+// DefaultShardSeed is the ring placement seed the daemons default to;
+// the shard property tests pin the balance and disruption bounds
+// against it.
+const DefaultShardSeed = shard.DefaultSeed
+
+// NewShardRing returns an empty rendezvous-hash ring with the given
+// placement seed (vnodes <= 0 takes the default).
+func NewShardRing(seed uint64, vnodes int) *ShardRing { return shard.New(seed, vnodes) }
+
+// NewShardRouter builds the requester-sticky routing tier over a set of
+// shard backends.
+func NewShardRouter(cfg ShardRouterConfig) (*ShardRouter, error) { return shard.NewRouter(cfg) }
 
 // --- Observability ---------------------------------------------------------
 

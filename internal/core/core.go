@@ -111,6 +111,10 @@ type SystemConfig struct {
 	// to/from a peer mediator and arbitrates failover with a persisted
 	// fencing epoch (see mediator.ReplicaConfig). Requires StateDir.
 	Replica *mediator.ReplicaConfig
+	// Shard, when non-nil, places the mediator in a sharded tier: its
+	// ownership gate refuses requesters the ring assigns to a peer
+	// shard, fail-closed (see mediator.ShardConfig and internal/shard).
+	Shard *mediator.ShardConfig
 	// Obs, when non-nil, collects metrics from the mediator and every
 	// in-process source into one registry (see internal/obs).
 	Obs *obs.Registry
@@ -210,6 +214,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Admission:         cfg.Admission,
 		Brownout:          cfg.Brownout,
 		Replica:           cfg.Replica,
+		Shard:             cfg.Shard,
 	})
 	if err != nil {
 		return nil, err

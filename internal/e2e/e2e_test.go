@@ -206,6 +206,7 @@ func wantAtLeast(t *testing.T, samples map[string]float64, series string, min fl
 type traceJSON struct {
 	Requester string `json:"requester"`
 	Query     string `json:"query"`
+	Shard     string `json:"shard"`
 	Outcome   string `json:"outcome"`
 	Spans     []struct {
 		Stage   string `json:"stage"`

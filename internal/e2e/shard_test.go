@@ -1,0 +1,344 @@
+// The sharded-tier end-to-end test: two HTTP source nodes, three
+// mediator shards (each with its own durable state directory and its
+// own ownership gate), and a piye-router front. What it locks in is the
+// PR's core safety claim: sharding the tier never weakens a refusal.
+// The Figure 1 combination refusal happens on the one shard that holds
+// the requester's ledger, survives router retries, survives a drain,
+// and a requester can never dodge it by reaching a shard that has not
+// seen their history — misrouted queries answer 503 not-owner, never a
+// fresh-ledger 200 and never a spurious 403.
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privateiye/internal/mediator"
+	"privateiye/internal/obs"
+	"privateiye/internal/resilience"
+	"privateiye/internal/shard"
+	"privateiye/internal/source"
+)
+
+var shardPeers = []string{"shard-a", "shard-b", "shard-c"}
+
+// newShardMediator builds one mediator shard over the given source
+// nodes: durable state under dir, the ownership gate armed with the
+// tier's peer list, and its own registry and tracer (each shard is its
+// own process in deployment; sharing a registry would fuse their
+// metrics).
+func newShardMediator(t *testing.T, dir, id string, nodes map[string]*httptest.Server) (*mediator.Mediator, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	var eps []source.Endpoint
+	for _, name := range []string{"alpha", "beta"} {
+		eps = append(eps, source.NewClient(nodes[name].URL, name))
+	}
+	reg := obs.NewRegistry()
+	med, err := mediator.New(mediator.Config{
+		Endpoints:         eps,
+		LinkageSalt:       salt,
+		MaxDisclosure:     0.9,
+		LedgerTolerance:   0.05,
+		SourceTimeout:     10 * time.Second,
+		WarehouseCapacity: 8,
+		WarehouseTTL:      100,
+		PlanCache:         64,
+		Resilience: &resilience.EndpointConfig{
+			Policy:  resilience.Policy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+			Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenFor: time.Minute},
+		},
+		Durability: &mediator.DurabilityConfig{Dir: dir},
+		Obs:        reg,
+		Trace:      obs.NewTracer(32),
+		Shard: &mediator.ShardConfig{
+			ID:    id,
+			Peers: shardPeers,
+			Seed:  shard.DefaultSeed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { med.Close() })
+	srv := httptest.NewServer(mediator.NewHandler(med))
+	t.Cleanup(srv.Close)
+	return med, srv, reg
+}
+
+// historyRequesters lists the distinct requesters in one shard's
+// /history.
+func historyRequesters(t *testing.T, base string) map[string]bool {
+	t.Helper()
+	resp, err := http.Get(base + "/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]bool{}
+	// The history is XML; requester is an attribute. String-scan rather
+	// than parse: the exact shape is pinned elsewhere.
+	b := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(b)
+	for _, part := range strings.Split(string(b[:n]), `requester="`)[1:] {
+		if i := strings.IndexByte(part, '"'); i > 0 {
+			out[part[:i]] = true
+		}
+	}
+	return out
+}
+
+// ownedBy finds n fresh requester names the reference ring places on
+// the given shard.
+func ownedBy(t *testing.T, ring *shard.Ring, owner, prefix string, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; len(out) < n && i < 10000; i++ {
+		cand := fmt.Sprintf("%s-%04d", prefix, i)
+		if o, err := ring.Lookup(cand); err != nil {
+			t.Fatal(err)
+		} else if o == owner {
+			out = append(out, cand)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d/%d requesters owned by %s", len(out), n, owner)
+	}
+	return out
+}
+
+// routerShards decodes the router's GET /shards admin view.
+func routerShards(t *testing.T, base string) map[string]struct {
+	Draining bool
+	Healthy  bool
+} {
+	t.Helper()
+	resp, err := http.Get(base + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Shards []struct {
+			Name     string `json:"name"`
+			Draining bool   `json:"draining"`
+			Healthy  bool   `json:"healthy"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]struct {
+		Draining bool
+		Healthy  bool
+	}{}
+	for _, s := range view.Shards {
+		out[s.Name] = struct {
+			Draining bool
+			Healthy  bool
+		}{s.Draining, s.Healthy}
+	}
+	return out
+}
+
+// TestShardedTierEndToEnd drives the full tier through stickiness,
+// misrouting, the Figure 1 refusal, drain/re-route, and a shard death.
+// Sub-steps share the deployment and run in order.
+func TestShardedTierEndToEnd(t *testing.T) {
+	nodes := map[string]*httptest.Server{}
+	for _, name := range []string{"alpha", "beta"} {
+		srv, _ := complianceNode(t, name)
+		nodes[name] = srv
+	}
+
+	shardSrvs := map[string]*httptest.Server{}
+	shardRegs := map[string]*obs.Registry{}
+	for _, id := range shardPeers {
+		_, srv, reg := newShardMediator(t, t.TempDir(), id, nodes)
+		shardSrvs[id] = srv
+		shardRegs[id] = reg
+	}
+
+	var backends []shard.Backend
+	for _, id := range shardPeers {
+		backends = append(backends, shard.Backend{Name: id, URL: shardSrvs[id].URL})
+	}
+	rtReg := obs.NewRegistry()
+	rt, err := shard.NewRouter(shard.RouterConfig{
+		Shards:      backends,
+		Seed:        shard.DefaultSeed,
+		Retry:       resilience.Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Breaker:     resilience.BreakerConfig{FailureThreshold: 3, OpenFor: 200 * time.Millisecond},
+		HealthEvery: 100 * time.Millisecond,
+		Obs:         rtReg,
+		Trace:       obs.NewTracer(32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rtSrv := httptest.NewServer(rt.Handler())
+	defer rtSrv.Close()
+
+	// The reference ring: what every shard and the router compute.
+	ref := shard.New(shard.DefaultSeed, 0)
+	for _, id := range shardPeers {
+		if err := ref.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- Requester stickiness through the router ------------------------
+
+	requesters := []string{}
+	for i := 0; i < 12; i++ {
+		requesters = append(requesters, fmt.Sprintf("clinician-%02d", i))
+	}
+	for _, req := range requesters {
+		for rep := 0; rep < 2; rep++ {
+			if code, body := postQuery(t, rtSrv.URL, perTestQuery, req); code != http.StatusOK {
+				t.Fatalf("routed query for %s: %d %s", req, code, body)
+			}
+		}
+	}
+	for _, req := range requesters {
+		owner, err := ref.Lookup(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range shardPeers {
+			has := historyRequesters(t, shardSrvs[id].URL)[req]
+			if id == owner && !has {
+				t.Errorf("requester %s missing from owner %s's history", req, id)
+			}
+			if id != owner && has {
+				t.Errorf("requester %s leaked onto non-owner %s", req, id)
+			}
+		}
+	}
+	// Every shard's trace carries its shard id.
+	for _, id := range shardPeers {
+		traces := getTraces(t, shardSrvs[id].URL, 1)
+		if len(traces) == 1 && traces[0].Shard != id {
+			t.Errorf("shard %s stamps traces with %q", id, traces[0].Shard)
+		}
+	}
+
+	// --- Misrouted requester: 503 not-owner, never 403 ------------------
+
+	stray := ownedBy(t, ref, "shard-a", "stray", 1)[0]
+	code, body := postQuery(t, shardSrvs["shard-b"].URL, perTestQuery, stray)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("wrong-shard query answered %d %s, want 503 (403 would masquerade as a privacy refusal)", code, body)
+	}
+	if !strings.Contains(body, "is not the owner of requester") {
+		t.Errorf("not-owner refusal body: %q", body)
+	}
+	bSamples := scrape(t, shardSrvs["shard-b"].URL)
+	wantAtLeast(t, bSamples, `piye_shard_not_owner_total{shard="shard-b"}`, 1)
+	wantSample(t, bSamples, `piye_shard_draining{shard="shard-b"}`, 0)
+
+	// --- Figure 1 refusal on the owning shard, through the router -------
+
+	snooper := ownedBy(t, ref, "shard-c", "snooper", 1)[0]
+	if code, body := postQuery(t, rtSrv.URL, perTestQuery, snooper); code != http.StatusOK {
+		t.Fatalf("Figure 1a release should pass: %d %s", code, body)
+	}
+	code, body = postQuery(t, rtSrv.URL, perHMOQuery, snooper)
+	if code != http.StatusForbidden || !strings.Contains(body, "combined") {
+		t.Fatalf("Figure 1 combination must be refused through the router: %d %s", code, body)
+	}
+	// A retry cannot shake the refusal loose (the router must not have
+	// retried the 403 onto some other shard, and the ledger is durable).
+	code, body = postQuery(t, rtSrv.URL, perHMOQuery, snooper)
+	if code != http.StatusForbidden || !strings.Contains(body, "combined") {
+		t.Fatalf("repeated Figure 1b must stay refused: %d %s", code, body)
+	}
+
+	// --- Drain: the refusal survives, new requesters re-route -----------
+
+	resp, err := http.Post(rtSrv.URL+"/shards/drain?name=shard-c", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("drain admin answered %d", resp.StatusCode)
+	}
+	if view := routerShards(t, rtSrv.URL); !view["shard-c"].Draining {
+		t.Fatal("router view does not show shard-c draining")
+	}
+	cSamples := scrape(t, shardSrvs["shard-c"].URL)
+	wantSample(t, cSamples, `piye_shard_draining{shard="shard-c"}`, 1)
+
+	// THE acceptance check: the snooper's ledger refusal is not lost
+	// across the drain. The draining shard still owns the snooper's
+	// state and still refuses the combination.
+	code, body = postQuery(t, rtSrv.URL, perHMOQuery, snooper)
+	if code != http.StatusForbidden || !strings.Contains(body, "combined") {
+		t.Fatalf("REFUSAL LOST ACROSS DRAIN: Figure 1b answered %d %s (a drain must never reset the ledger)", code, body)
+	}
+
+	// A new requester owned by the draining shard re-routes to the
+	// drain-adjusted owner and answers 200 there.
+	newcomer := ownedBy(t, ref, "shard-c", "newcomer", 1)[0]
+	adjOwner, err := ref.LookupExcluding(newcomer, []string{"shard-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postQuery(t, rtSrv.URL, perTestQuery, newcomer); code != http.StatusOK {
+		t.Fatalf("drain re-route for %s: %d %s", newcomer, code, body)
+	}
+	if !historyRequesters(t, shardSrvs[adjOwner].URL)[newcomer] {
+		t.Errorf("newcomer did not land on the drain-adjusted owner %s", adjOwner)
+	}
+	if historyRequesters(t, shardSrvs["shard-c"].URL)[newcomer] {
+		t.Error("newcomer was served by the draining shard")
+	}
+	adjSamples := scrape(t, shardSrvs[adjOwner].URL)
+	wantAtLeast(t, adjSamples, fmt.Sprintf(`piye_shard_rerouted_accepted_total{shard=%q}`, adjOwner), 1)
+	cSamples = scrape(t, shardSrvs["shard-c"].URL)
+	wantAtLeast(t, cSamples, `piye_shard_draining_refusals_total{shard="shard-c"}`, 1)
+
+	// Undrain restores normal placement.
+	resp, err = http.Post(rtSrv.URL+"/shards/undrain?name=shard-c", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("undrain admin answered %d", resp.StatusCode)
+	}
+	code, body = postQuery(t, rtSrv.URL, perHMOQuery, snooper)
+	if code != http.StatusForbidden || !strings.Contains(body, "combined") {
+		t.Fatalf("refusal lost across undrain: %d %s", code, body)
+	}
+
+	// --- Dead shard: its requesters 503, everyone else keeps working ----
+
+	shardSrvs["shard-b"].CloseClientConnections()
+	shardSrvs["shard-b"].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if view := routerShards(t, rtSrv.URL); !view["shard-b"].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never noticed shard-b dying")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	orphan := ownedBy(t, ref, "shard-b", "orphan", 1)[0]
+	code, body = postQuery(t, rtSrv.URL, perTestQuery, orphan)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("dead shard's requester answered %d %s, want 503 (its ledger is unreachable; serving elsewhere could weaken a refusal)", code, body)
+	}
+	survivor := ownedBy(t, ref, "shard-a", "survivor", 1)[0]
+	if code, body := postQuery(t, rtSrv.URL, perTestQuery, survivor); code != http.StatusOK {
+		t.Fatalf("surviving shard's requester should keep working: %d %s", code, body)
+	}
+}

@@ -338,3 +338,27 @@ func TestE22(t *testing.T) {
 		t.Error("the promoted standby answered nothing")
 	}
 }
+
+func TestE24(t *testing.T) {
+	// A tiny two-tier run: the ≥2.5x acceptance bar is only armed at 4
+	// shards (machine-speed dependent; piye-bench runs it for real), so
+	// the test pins the table's structure and the baseline row.
+	tab, err := E24RouterScaling(8, 4, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (two tiers + overhead)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+	if tab.Rows[0][4] != "1.00x" {
+		t.Errorf("baseline speedup %q, want 1.00x", tab.Rows[0][4])
+	}
+	if !strings.Contains(tab.Rows[2][4], "direct") {
+		t.Errorf("overhead row %v lacks the direct-vs-routed comparison", tab.Rows[2])
+	}
+}

@@ -309,6 +309,19 @@ func measureGuardRounds(queries, rounds int) (map[string][]float64, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// The router hot path: the per-query ring placement, and the full
+	// proxy hop against an instant shard (router cost only — HTTP in,
+	// lookup, HTTP out, passthrough back).
+	if err := measure("router_lookup", routerLookupNs); err != nil {
+		return nil, err
+	}
+	proxyQueries := queries / 4
+	if proxyQueries < 50 {
+		proxyQueries = 50
+	}
+	if err := measure("router_proxy", func() (float64, error) { return routerProxyNs(proxyQueries) }); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -380,7 +393,7 @@ func CheckBaseline(path string, queries, rounds int, tolerance float64) (*Table,
 		Header: []string{"metric", "baseline", "current (best)", "delta", "verdict"},
 	}
 	var failed []string
-	for _, name := range []string{"cached_query", "fanout_query", "psi_blind_item", "psi_blind_batch_item", "wal_group_append"} {
+	for _, name := range []string{"cached_query", "fanout_query", "psi_blind_item", "psi_blind_batch_item", "wal_group_append", "router_lookup", "router_proxy"} {
 		baseNs, ok := base.MetricsNs[name]
 		if !ok {
 			continue

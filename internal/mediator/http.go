@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"privateiye/internal/obs"
 	"privateiye/internal/piql"
@@ -101,18 +102,29 @@ func NewHandler(m *Mediator) http.Handler {
 			http.Error(w, "mediator: missing X-Requester header", http.StatusBadRequest)
 			return
 		}
-		in, err := m.QueryContext(r.Context(), string(body), requester)
+		ctx := r.Context()
+		// A router re-routing around a drain asserts the drained set in
+		// this header; the ownership gate verifies the assertion against
+		// its own ring rather than trusting it (see shardGate).
+		if h := r.Header.Get("X-Shard-Rerouted-From"); h != "" {
+			ctx = WithReroutedFrom(ctx, strings.Split(h, ","))
+		}
+		in, err := m.QueryContext(ctx, string(body), requester)
 		if err != nil {
 			// Admission sheds are 429/503 with Retry-After so clients
 			// can distinguish "back off" from "forbidden".
 			if source.WriteShed(w, err) {
 				return
 			}
-			// Role refusals are 503, not 403: the query is fine, this
-			// node just is not the primary — retry against the peer.
+			// Role and ownership refusals are 503, not 403: the query is
+			// fine, it just reached the wrong node — retry against the
+			// primary, or let the router re-route to the owning shard.
 			var np *NotPrimaryError
 			var fe *FencedError
-			if errors.As(err, &np) || errors.As(err, &fe) {
+			var no *NotOwnerError
+			var dr *DrainingError
+			if errors.As(err, &np) || errors.As(err, &fe) ||
+				errors.As(err, &no) || errors.As(err, &dr) {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
 			}
@@ -180,6 +192,31 @@ func NewHandler(m *Mediator) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(m.ReplicationStatus())
 	})
+
+	// Shard drain/undrain admin and the membership view, when sharded.
+	// Drain is what the router's admin surface propagates: the shard
+	// keeps serving requesters whose state lives here and starts
+	// refusing new ones for the router to re-route.
+	if m.shard != nil {
+		mux.HandleFunc("POST /shard/drain", func(w http.ResponseWriter, r *http.Request) {
+			if err := m.Drain(); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		})
+		mux.HandleFunc("POST /shard/undrain", func(w http.ResponseWriter, r *http.Request) {
+			if err := m.Undrain(); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		})
+		mux.HandleFunc("GET /shard/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(m.ShardInfo())
+		})
+	}
 
 	// Liveness/readiness (readiness gates on WAL replay — implied by a
 	// constructed mediator — and, for a standby, replication lag).

@@ -114,6 +114,11 @@ type Config struct {
 	// as refusal.Overloaded / refusal.RateLimited — never as privacy
 	// refusals.
 	Admission *admission.Config
+	// Shard, when non-nil, places this mediator in a sharded tier: an
+	// ownership gate refuses requesters whose ring placement is another
+	// shard (fail-closed NotOwnerError, HTTP 503) and the drain/re-route
+	// handshake with the piye-router tier is enabled (see shard.go).
+	Shard *ShardConfig
 	// Brownout degrades overload sheds gracefully: instead of failing
 	// an Overloaded shed, the mediator answers from the warehouse even
 	// past TTL, marking the response Stale. Rate-limit sheds are never
@@ -148,6 +153,10 @@ type Mediator struct {
 	// persist is set once in New when Config.Durability is given; nil
 	// means process-local state (see persist.go).
 	persist *statePersister
+
+	// shard is the tier-membership view; nil means unsharded (see
+	// shard.go).
+	shard *shardState
 
 	// Replication wiring; all nil without Config.Replica (see
 	// replicate.go). node holds role + fencing epoch; repSrv serves the
@@ -296,6 +305,14 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	if cfg.Replica != nil {
 		if err := m.openReplication(*cfg.Replica); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	if cfg.Shard != nil {
+		// After durability replay: the ownership gate's drain decisions
+		// consult the recovered history and ledger.
+		if err := m.setupShard(*cfg.Shard); err != nil {
 			m.Close()
 			return nil, err
 		}
@@ -465,6 +482,12 @@ func (m *Mediator) QueryContext(ctx context.Context, piqlText, requester string)
 	// grant its own, and a fenced ex-primary must grant nothing at all —
 	// its ledger no longer sees what the successor has released.
 	if err := m.writeGate(); err != nil {
+		m.obs.finish(trace, t0, nil, err)
+		return nil, err
+	}
+	// Ownership gate: before admission, so a misrouted requester never
+	// consumes a concurrency slot it was never entitled to.
+	if err := m.shardGate(ctx, requester); err != nil {
 		m.obs.finish(trace, t0, nil, err)
 		return nil, err
 	}

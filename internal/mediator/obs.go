@@ -32,6 +32,9 @@ type srcCallObs struct {
 // medObs holds the mediator's pre-resolved metric handles.
 type medObs struct {
 	tracer *obs.Tracer
+	// shard is the shard id stamped on every trace ("" unsharded); set
+	// by setupShard after construction.
+	shard string
 
 	answered  *obs.Counter
 	warehouse *obs.Counter
@@ -99,7 +102,9 @@ func (o *medObs) startTrace(requester, query string) *obs.Trace {
 	if o == nil || o.tracer == nil {
 		return nil
 	}
-	return o.tracer.Start(requester, query)
+	t := o.tracer.Start(requester, query)
+	t.SetShard(o.shard)
+	return t
 }
 
 // now returns the stage start time (zero when observability is off, so

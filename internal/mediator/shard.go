@@ -1,0 +1,281 @@
+package mediator
+
+// The mediator's side of the sharded tier (see internal/shard for the
+// ring and the router). Every inference-control store the paper's
+// second-level controls consume — the release ledger, the query
+// history, the loss budgets — is keyed by requester, so the tier
+// decomposes shared-nothing along that key. The invariant this file
+// enforces, fail-closed, is OWNERSHIP: a shard answers a requester only
+// when the ring says the requester's control state lives here. A shard
+// that has not seen a requester's releases cannot refuse their
+// combination, so answering a misrouted requester could only ever
+// weaken a refusal — the gate turns that into a retryable 503
+// (NotOwner), never a silent grant and never a 403.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"privateiye/internal/obs"
+	"privateiye/internal/refusal"
+	"privateiye/internal/shard"
+)
+
+// ShardConfig places one mediator in a sharded tier. Every shard and
+// every router in the tier must be configured with the same Peers, Seed
+// and Vnodes, or their rings disagree on ownership and the gate refuses
+// traffic the router believed well-placed.
+type ShardConfig struct {
+	// ID is this shard's name in the ring; it must appear in Peers.
+	ID string
+	// Peers are the names of every shard in the tier, this one included.
+	Peers []string
+	// Seed is the ring placement seed (shard.DefaultSeed when 0 is
+	// meant, set it explicitly — 0 is a valid seed).
+	Seed uint64
+	// Vnodes is the virtual-node count per member (<= 0 takes
+	// shard.DefaultVnodes).
+	Vnodes int
+}
+
+// NotOwnerError refuses a query that reached a shard other than the
+// requester's ring owner. Fail-closed and retryable: the query is fine,
+// it knocked on the wrong door, and the router should re-route it. The
+// phrase "is not the owner of requester" is wire contract for
+// refusal.ClassifyString.
+type NotOwnerError struct {
+	Shard     string
+	Requester string
+	Owner     string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("mediator: shard %s is not the owner of requester %s (owner %s)", e.Shard, e.Requester, e.Owner)
+}
+
+// RefusalReason implements refusal.Reasoner.
+func (e *NotOwnerError) RefusalReason() refusal.Reason { return refusal.NotOwner }
+
+// DrainingError refuses a NEW requester (one with no durable state
+// here) on a draining shard: the shard is shedding ownership, and the
+// router should place the requester with the drain-adjusted owner. A
+// requester that already has state here keeps being served through the
+// drain — moving it would strand the very ledger the refusals need.
+// The phrase "draining: not accepting" is wire contract for
+// refusal.ClassifyString.
+type DrainingError struct {
+	Shard string
+}
+
+func (e *DrainingError) Error() string {
+	return fmt.Sprintf("mediator: shard %s draining: not accepting new requesters", e.Shard)
+}
+
+// RefusalReason implements refusal.Reasoner. A drain refusal is a
+// routing fact, not a privacy verdict, so it shares the retryable
+// NotOwner reason (503, never 403).
+func (e *DrainingError) RefusalReason() refusal.Reason { return refusal.NotOwner }
+
+// shardState is the mediator's membership view, set once in New.
+type shardState struct {
+	id       string
+	ring     *shard.Ring
+	draining atomic.Bool
+
+	// Shard metric handles (nil when the mediator runs unobserved).
+	drainingGauge *obs.Gauge
+	notOwner      *obs.Counter
+	drainRefused  *obs.Counter
+	rerouted      *obs.Counter
+}
+
+// reroutedKey carries the router's drain assertion through the request
+// context (see WithReroutedFrom).
+type reroutedKey struct{}
+
+// WithReroutedFrom attaches the router's drain assertion to a query
+// context: the names of the draining shards the router routed around.
+// The HTTP handler populates it from the X-Shard-Rerouted-From header.
+func WithReroutedFrom(ctx context.Context, drained []string) context.Context {
+	if len(drained) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, reroutedKey{}, drained)
+}
+
+// ReroutedFrom reads the router's drain assertion back (nil when the
+// query arrived unrouted or undrained).
+func ReroutedFrom(ctx context.Context) []string {
+	v, _ := ctx.Value(reroutedKey{}).([]string)
+	return v
+}
+
+// setupShard validates the config and builds the ring. Called from New
+// after durability replay so the gate's first ownership answers already
+// see the recovered requester state.
+func (m *Mediator) setupShard(cfg ShardConfig) error {
+	if cfg.ID == "" {
+		return fmt.Errorf("mediator: shard id must be non-empty")
+	}
+	ring := shard.New(cfg.Seed, cfg.Vnodes)
+	self := false
+	for _, p := range cfg.Peers {
+		if err := ring.Add(p); err != nil {
+			return fmt.Errorf("mediator: shard peer: %w", err)
+		}
+		if p == cfg.ID {
+			self = true
+		}
+	}
+	if !self {
+		return fmt.Errorf("mediator: shard peers %v do not include this shard's id %q", cfg.Peers, cfg.ID)
+	}
+	s := &shardState{id: cfg.ID, ring: ring}
+	if reg := m.cfg.Obs; reg != nil {
+		reg.Help("piye_shard_info", "Shard membership: one series per known peer, value 1; the self label marks this shard.")
+		reg.Help("piye_shard_draining", "1 while this shard is draining (refusing new requesters), else 0.")
+		reg.Help("piye_shard_not_owner_total", "Queries refused because the requester hashes to a different shard.")
+		reg.Help("piye_shard_draining_refusals_total", "New requesters refused while draining (re-routed by the router).")
+		reg.Help("piye_shard_rerouted_accepted_total", "Queries accepted as the drain-adjusted owner on a router re-route.")
+		for _, p := range cfg.Peers {
+			selfLabel := "false"
+			if p == cfg.ID {
+				selfLabel = "true"
+			}
+			reg.Gauge("piye_shard_info", "shard", cfg.ID, "peer", p, "self", selfLabel).Set(1)
+		}
+		s.drainingGauge = reg.Gauge("piye_shard_draining", "shard", cfg.ID)
+		s.drainingGauge.Set(0)
+		s.notOwner = reg.Counter("piye_shard_not_owner_total", "shard", cfg.ID)
+		s.drainRefused = reg.Counter("piye_shard_draining_refusals_total", "shard", cfg.ID)
+		s.rerouted = reg.Counter("piye_shard_rerouted_accepted_total", "shard", cfg.ID)
+	}
+	m.shard = s
+	if m.obs != nil {
+		m.obs.shard = cfg.ID
+	}
+	return nil
+}
+
+// shardGate is the ownership check, run on every query after the role
+// gate and before admission (a misrouted query must not consume a
+// concurrency slot). Unsharded mediators pay one nil check.
+//
+// The decision table:
+//
+//	full-ring owner, not draining          -> serve
+//	full-ring owner, draining, has state   -> serve (finish what we own)
+//	full-ring owner, draining, new         -> DrainingError (router re-routes)
+//	not owner, router asserted a drain and
+//	  we are the drain-adjusted owner      -> serve (take ownership)
+//	anything else                          -> NotOwnerError
+//
+// The drain re-route is verified, not trusted: the router's
+// X-Shard-Rerouted-From header only names which shards to exclude, and
+// the gate recomputes ownership over the remainder with the same pure
+// placement function the router used. A forged or stale header can make
+// this shard refuse (fail-closed), never make it serve a requester the
+// ring places elsewhere among the live shards it knows.
+func (m *Mediator) shardGate(ctx context.Context, requester string) error {
+	s := m.shard
+	if s == nil {
+		return nil
+	}
+	owner, err := s.ring.Lookup(requester)
+	if err != nil {
+		// Unreachable in a validated config (the ring always holds self),
+		// but fail closed rather than serve unowned.
+		return &NotOwnerError{Shard: s.id, Requester: requester, Owner: "?"}
+	}
+	if owner == s.id {
+		if s.draining.Load() && !m.hasRequesterState(requester) {
+			if s.drainRefused != nil {
+				s.drainRefused.Inc()
+			}
+			return &DrainingError{Shard: s.id}
+		}
+		return nil
+	}
+	if drained := ReroutedFrom(ctx); len(drained) > 0 {
+		if adj, err := s.ring.LookupExcluding(requester, drained); err == nil && adj == s.id {
+			if s.rerouted != nil {
+				s.rerouted.Inc()
+			}
+			return nil
+		}
+	}
+	if s.notOwner != nil {
+		s.notOwner.Inc()
+	}
+	return &NotOwnerError{Shard: s.id, Requester: requester, Owner: owner}
+}
+
+// hasRequesterState reports whether this shard holds durable control
+// state for the requester — a query history or ledgered releases, both
+// rebuilt from snapshot+WAL replay at startup. This is what makes a
+// drain safe: requesters with state stay until the operator retires the
+// shard, requesters without state lose nothing by being placed
+// elsewhere.
+func (m *Mediator) hasRequesterState(requester string) bool {
+	m.mu.RLock()
+	for _, e := range m.history {
+		if e.Requester == requester {
+			m.mu.RUnlock()
+			return true
+		}
+	}
+	m.mu.RUnlock()
+	m.ledger.mu.Lock()
+	_, ok := m.ledger.byRequester[requester]
+	m.ledger.mu.Unlock()
+	return ok
+}
+
+// Drain marks this shard draining: in-flight and stateful requesters
+// keep being served, new requesters are refused with DrainingError for
+// the router to re-route. Idempotent. No-op error when unsharded.
+func (m *Mediator) Drain() error {
+	if m.shard == nil {
+		return fmt.Errorf("mediator: not sharded")
+	}
+	m.shard.draining.Store(true)
+	if m.shard.drainingGauge != nil {
+		m.shard.drainingGauge.Set(1)
+	}
+	return nil
+}
+
+// Undrain clears the drain mark.
+func (m *Mediator) Undrain() error {
+	if m.shard == nil {
+		return fmt.Errorf("mediator: not sharded")
+	}
+	m.shard.draining.Store(false)
+	if m.shard.drainingGauge != nil {
+		m.shard.drainingGauge.Set(0)
+	}
+	return nil
+}
+
+// ShardStatus is the admin view of this shard's membership.
+type ShardStatus struct {
+	ID       string         `json:"id"`
+	Draining bool           `json:"draining"`
+	Seed     uint64         `json:"seed"`
+	Peers    []shard.Member `json:"peers"`
+}
+
+// ShardInfo reports the shard view (nil when unsharded).
+func (m *Mediator) ShardInfo() *ShardStatus {
+	s := m.shard
+	if s == nil {
+		return nil
+	}
+	return &ShardStatus{
+		ID:       s.id,
+		Draining: s.draining.Load(),
+		Seed:     s.ring.Seed(),
+		Peers:    s.ring.Members(),
+	}
+}

@@ -37,6 +37,7 @@ type Trace struct {
 	ID        uint64    `json:"id"`
 	Requester string    `json:"requester"`
 	Query     string    `json:"query"`
+	Shard     string    `json:"shard,omitempty"`
 	Begin     time.Time `json:"begin"`
 
 	mu       sync.Mutex
@@ -64,6 +65,18 @@ func (t *Trace) StartSpan(stage, source string) func(outcome string) {
 		t.Spans = append(t.Spans, sp)
 		t.mu.Unlock()
 	}
+}
+
+// SetShard stamps the trace with the shard that served the query, so a
+// tier-wide trace search can attribute each query to its shard.
+// Nil-safe; call before Finish.
+func (t *Trace) SetShard(shard string) {
+	if t == nil || shard == "" {
+		return
+	}
+	t.mu.Lock()
+	t.Shard = shard
+	t.mu.Unlock()
 }
 
 // Record appends an already-timed span. Instrumented components that
@@ -103,6 +116,7 @@ func (t *Trace) snapshot() *Trace {
 		ID:        t.ID,
 		Requester: t.Requester,
 		Query:     t.Query,
+		Shard:     t.Shard,
 		Begin:     t.Begin,
 		Spans:     append([]Span(nil), t.Spans...),
 		Duration:  t.Duration,

@@ -72,6 +72,14 @@ const (
 	// every release closed — granting here could double-grant what the
 	// successor's ledger does not know about.
 	Fenced Reason = "fenced"
+	// NotOwner: in a sharded mediator tier, the requester hashes to a
+	// different shard — this shard's ledger does not hold the
+	// requester's release history, so granting here could miss a
+	// combination the owning shard would refuse. Fail-closed and
+	// retryable via the router (503, never 403): the query is fine, it
+	// just knocked on the wrong door. A draining shard declining a new
+	// requester classifies here too — it is shedding ownership.
+	NotOwner Reason = "not-owner"
 	// Other: an error outside the closed vocabulary (transport faults,
 	// internal errors). A growing "other" count is a signal to look at
 	// the traces, not to mint labels.
@@ -89,7 +97,7 @@ func All() []Reason {
 		AuditSetSize, AuditOverlap, AuditCompromise,
 		LedgerCombination, Unrecordable, LossBudget,
 		Parse, NoSource, Overloaded, RateLimited,
-		NotPrimary, Fenced, Other,
+		NotPrimary, Fenced, NotOwner, Other,
 	}
 }
 
@@ -161,6 +169,11 @@ func ClassifyString(s string) Reason {
 		return Fenced
 	case strings.Contains(s, "not primary"):
 		return NotPrimary
+	// Shard-routing refusals: the wrong-door refusal and a draining
+	// shard declining to take ownership of a new requester.
+	case strings.Contains(s, "not the owner of requester"),
+		strings.Contains(s, "draining: not accepting"):
+		return NotOwner
 	default:
 		return Other
 	}

@@ -77,6 +77,10 @@ func TestClassifyString(t *testing.T) {
 		{"mediator: fenced at epoch 4: a newer primary exists; refusing to grant releases", Fenced},
 		// A fenced node naming its role still classifies as fenced.
 		{"not primary (role fenced, epoch 4)", Fenced},
+		// Shard-routing refusals (retry via the router, 503 never 403).
+		{"mediator: shard shard-b is not the owner of requester drWho (owner shard-a)", NotOwner},
+		{"mediator: shard shard-a draining: not accepting new requesters", NotOwner},
+		{"source front: 503 Service Unavailable: mediator: shard shard-c is not the owner of requester drWho (owner shard-a)", NotOwner},
 		// HTTP 503 from a dead node: transport noise, not a known reason.
 		{"source hospitalC: 503 Service Unavailable: upstream reset", Other},
 	}
@@ -95,7 +99,60 @@ func TestAllCoversEveryReasonOnce(t *testing.T) {
 		}
 		seen[r] = true
 	}
-	if len(seen) != 17 {
+	if len(seen) != 18 {
 		t.Fatalf("All() lists %d reasons; update the test when the vocabulary deliberately grows", len(seen))
+	}
+}
+
+// TestEnumStaysClosed asserts every reason in All() (except the Other
+// catch-all and the two context sentinels, which Classify handles by
+// errors.Is) has a wire-string exemplar that ClassifyString maps back to
+// it. Adding a reason to the enum without classifier coverage fails
+// here: a reason the classifier cannot recover from a message would
+// silently degrade to Other the moment the refusal crosses an HTTP hop.
+func TestEnumStaysClosed(t *testing.T) {
+	exemplar := map[Reason]string{
+		Timeout:           "timeout: no answer within 10s",
+		Canceled:          "canceled: context canceled",
+		BreakerOpen:       "circuit open (source presumed down)",
+		Policy:            "query fully denied: //row/id: denied by policy",
+		AuditSetSize:      "audit: refused by set-size control: query set has 2 individuals",
+		AuditOverlap:      "audit: refused by overlap control: overlaps a previous query",
+		AuditCompromise:   "audit: refused by compromise control: answering would determine individual 7",
+		LedgerCombination: "refusing release: combined with your earlier rate-by-test statistics",
+		Unrecordable:      "refusing unrecordable release: durable: wal fsync: disk gone",
+		LossBudget:        "integrated information loss 0.80 exceeds the requester's MAXLOSS 0.50",
+		Parse:             "piql: expected FOR at offset 0",
+		NoSource:          "no source holds data matching //nothing",
+		Overloaded:        "overloaded: 4 queries in flight at limit 4, queue full",
+		RateLimited:       "rate limit exceeded for requester drWho",
+		NotPrimary:        "not primary (role standby, epoch 3)",
+		Fenced:            "fenced at epoch 4: a newer primary exists",
+		NotOwner:          "shard shard-b is not the owner of requester drWho (owner shard-a)",
+	}
+	for _, r := range All() {
+		if r == Other {
+			continue
+		}
+		msg, ok := exemplar[r]
+		if !ok {
+			t.Errorf("reason %q has no wire-string exemplar: add one here and a ClassifyString case, or the reason is lost across HTTP hops", r)
+			continue
+		}
+		if got := ClassifyString(msg); got != r {
+			t.Errorf("ClassifyString(%q) = %v, want %v", msg, got, r)
+		}
+	}
+	for r := range exemplar {
+		found := false
+		for _, a := range All() {
+			if a == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("exemplar for %q is not in All()", r)
+		}
 	}
 }
