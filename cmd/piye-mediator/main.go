@@ -85,7 +85,7 @@ func main() {
 	replicaLagMax := flag.Uint64("replica-lag-max", 0, "records of replication lag a standby tolerates while still reporting ready")
 	replicaHeartbeat := flag.Duration("replica-heartbeat", 0, "replication stream keepalive period (0 = default 500ms)")
 	shardID := flag.String("shard-id", "", "this mediator's name in a sharded tier (enables the requester ownership gate; needs -shard-peers)")
-	shardPeers := flag.String("shard-peers", "", "comma-separated names of every shard in the tier, this one included (must match the router's -shard list)")
+	shardPeers := flag.String("shard-peers", "", "comma-separated membership of the tier, this shard included, as name or name=url (must match the router's -shard list); URLs let this shard verify drain re-routes and check peers before undrain — without them re-routed requesters are refused fail-closed")
 	shardSeed := flag.Uint64("shard-seed", shard.DefaultSeed, "ring placement seed (must match every shard and router in the tier)")
 	shardVnodes := flag.Int("shard-vnodes", 0, "virtual nodes per ring member (0 = default 16; must match the tier)")
 	flag.Parse()
@@ -162,11 +162,25 @@ func main() {
 		if *shardID == "" || *shardPeers == "" {
 			log.Fatal("piye-mediator: -shard-id and -shard-peers go together")
 		}
+		var peerNames []string
+		peerURLs := map[string]string{}
+		for _, p := range strings.Split(*shardPeers, ",") {
+			if name, u, ok := strings.Cut(p, "="); ok {
+				peerNames = append(peerNames, name)
+				peerURLs[name] = u
+			} else {
+				peerNames = append(peerNames, p)
+			}
+		}
+		if len(peerURLs) == 0 {
+			log.Print("piye-mediator: NOTE: -shard-peers has no name=url entries; router drain re-routes will be refused fail-closed (the drain claim cannot be verified against peers) and undrain requires force")
+		}
 		shardCfg = &mediator.ShardConfig{
-			ID:     *shardID,
-			Peers:  strings.Split(*shardPeers, ","),
-			Seed:   *shardSeed,
-			Vnodes: *shardVnodes,
+			ID:       *shardID,
+			Peers:    peerNames,
+			Seed:     *shardSeed,
+			Vnodes:   *shardVnodes,
+			PeerURLs: peerURLs,
 		}
 	}
 	reg := obs.NewRegistry()

@@ -12,6 +12,7 @@ package e2e
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -157,10 +158,23 @@ func TestShardedTierEndToEnd(t *testing.T) {
 
 	shardSrvs := map[string]*httptest.Server{}
 	shardRegs := map[string]*obs.Registry{}
+	shardMeds := map[string]*mediator.Mediator{}
 	for _, id := range shardPeers {
-		_, srv, reg := newShardMediator(t, t.TempDir(), id, nodes)
+		med, srv, reg := newShardMediator(t, t.TempDir(), id, nodes)
 		shardSrvs[id] = srv
 		shardRegs[id] = reg
+		shardMeds[id] = med
+	}
+	// Peer URLs arm the drain-claim verification and the undrain strand
+	// check (unknown until every shard's server is up, hence set late).
+	peerURLs := map[string]string{}
+	for _, id := range shardPeers {
+		peerURLs[id] = shardSrvs[id].URL
+	}
+	for _, id := range shardPeers {
+		if err := shardMeds[id].SetShardPeerURLs(peerURLs); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	var backends []shard.Backend
@@ -242,6 +256,32 @@ func TestShardedTierEndToEnd(t *testing.T) {
 	wantAtLeast(t, bSamples, `piye_shard_not_owner_total{shard="shard-b"}`, 1)
 	wantSample(t, bSamples, `piye_shard_draining{shard="shard-b"}`, 0)
 
+	// --- Forged drain claim: the header is not a credential --------------
+
+	// The HTTP surface accepts X-Shard-Rerouted-From from anyone, so a
+	// client can name the true owner and knock on a non-owner's door
+	// directly. shard-a is NOT draining: shard-b must confirm the claim
+	// against shard-a's own /shard/status and refuse — serving would
+	// hand the requester a fresh ledger, the exact refusal-weakening
+	// sharding exists to prevent.
+	freq, err := http.NewRequest(http.MethodPost, shardSrvs["shard-b"].URL+"/query", strings.NewReader(perTestQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq.Header.Set("X-Requester", stray)
+	freq.Header.Set("X-Shard-Rerouted-From", "shard-a")
+	fresp, err := http.DefaultClient.Do(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbody, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(fbody), "is not the owner of requester") {
+		t.Fatalf("forged drain claim against a non-draining owner answered %d %s, want 503 not-owner", fresp.StatusCode, fbody)
+	}
+	bSamples = scrape(t, shardSrvs["shard-b"].URL)
+	wantAtLeast(t, bSamples, `piye_shard_reroute_denied_total{shard="shard-b"}`, 1)
+
 	// --- Figure 1 refusal on the owning shard, through the router -------
 
 	snooper := ownedBy(t, ref, "shard-c", "snooper", 1)[0]
@@ -304,14 +344,37 @@ func TestShardedTierEndToEnd(t *testing.T) {
 	cSamples = scrape(t, shardSrvs["shard-c"].URL)
 	wantAtLeast(t, cSamples, `piye_shard_draining_refusals_total{shard="shard-c"}`, 1)
 
-	// Undrain restores normal placement.
+	// Undrain is NOT the safe reverse of drain any more: the newcomer's
+	// ledger and history now live on the drain-adjusted owner, and
+	// undraining would hand the newcomer back to shard-c's fresh
+	// ledger. The shard checks its peers and refuses (409, passed back
+	// through the router verbatim), naming the stranded requester.
 	resp, err = http.Post(rtSrv.URL+"/shards/undrain?name=shard-c", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ubody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("undrain with stranded re-routed state answered %d %s, want 409", resp.StatusCode, ubody)
+	}
+	if !strings.Contains(string(ubody), "undrain refused") || !strings.Contains(string(ubody), newcomer) {
+		t.Fatalf("undrain refusal %q does not name the stranded requester %s", ubody, newcomer)
+	}
+	if view := routerShards(t, rtSrv.URL); !view["shard-c"].Draining {
+		t.Fatal("refused undrain cleared the router's drain mark")
+	}
+
+	// The operator force-undrains (accepting or having migrated the
+	// newcomer's state); established state never moved, so the
+	// snooper's ledger refusal survives.
+	resp, err = http.Post(rtSrv.URL+"/shards/undrain?name=shard-c&force=1", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		t.Fatalf("undrain admin answered %d", resp.StatusCode)
+		t.Fatalf("forced undrain admin answered %d", resp.StatusCode)
 	}
 	code, body = postQuery(t, rtSrv.URL, perHMOQuery, snooper)
 	if code != http.StatusForbidden || !strings.Contains(body, "combined") {

@@ -205,16 +205,28 @@ func NewHandler(m *Mediator) http.Handler {
 			}
 			w.WriteHeader(http.StatusNoContent)
 		})
+		// Undrain refuses (409) while a peer holds re-routed requester
+		// state the full ring would reclaim here; ?force=1 overrides
+		// after the operator migrates the state or accepts the loss.
 		mux.HandleFunc("POST /shard/undrain", func(w http.ResponseWriter, r *http.Request) {
-			if err := m.Undrain(); err != nil {
+			force, _ := strconv.ParseBool(r.URL.Query().Get("force"))
+			if err := m.Undrain(r.Context(), force); err != nil {
 				http.Error(w, err.Error(), http.StatusConflict)
 				return
 			}
 			w.WriteHeader(http.StatusNoContent)
 		})
+		// ?misplaced=1 adds the requesters whose state lives here but
+		// whose full-ring owner is another shard — O(state), so only on
+		// request (undrain's strand check asks for it; the router's
+		// poller and the drain verifiers do not).
 		mux.HandleFunc("GET /shard/status", func(w http.ResponseWriter, r *http.Request) {
+			st := m.ShardInfo()
+			if wantMisplaced, _ := strconv.ParseBool(r.URL.Query().Get("misplaced")); wantMisplaced {
+				st.Misplaced = m.ShardMisplaced()
+			}
 			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(m.ShardInfo())
+			_ = json.NewEncoder(w).Encode(st)
 		})
 	}
 

@@ -254,6 +254,18 @@ func (l *releaseLedger) replaceAll(byRequester map[string][]ledgerRelease) {
 	l.byRequester = byRequester
 }
 
+// requesters lists every requester with ledgered releases (the shard
+// misplaced-state view walks it; admin surface, not the hot path).
+func (l *releaseLedger) requesters() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.byRequester))
+	for r := range l.byRequester {
+		out = append(out, r)
+	}
+	return out
+}
+
 // combinedDisclosure mounts the outsider attack on the pair of releases:
 // attributes from the sigma-bearing release, parties from the other.
 func combinedDisclosure(attrRel, partyRel ledgerRelease, tolerance float64, workers int) (float64, error) {

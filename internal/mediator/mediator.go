@@ -147,6 +147,7 @@ type Mediator struct {
 	vocab           []string                    // leaf vocabulary of the mediated schema
 	wh              *warehouse.Warehouse
 	history         []HistoryEntry
+	historyReq      map[string]struct{} // requesters appearing in history (O(1) state checks)
 	ledger          *releaseLedger
 	correspondences []Correspondence
 
@@ -227,12 +228,13 @@ func New(cfg Config) (*Mediator, error) {
 		cfg.Endpoints = wrapped
 	}
 	m := &Mediator{
-		cfg:      cfg,
-		matcher:  schemamatch.NewMatcher(),
-		plans:    qcache.New(cfg.PlanCache),
-		flights:  map[string]*flight{},
-		bySource: map[string]*xmltree.Summary{},
-		ledger:   newReleaseLedger(),
+		cfg:        cfg,
+		matcher:    schemamatch.NewMatcher(),
+		plans:      qcache.New(cfg.PlanCache),
+		flights:    map[string]*flight{},
+		bySource:   map[string]*xmltree.Summary{},
+		historyReq: map[string]struct{}{},
+		ledger:     newReleaseLedger(),
 	}
 	m.ledger.attackWorkers = cfg.Workers
 	names := make([]string, len(cfg.Endpoints))
@@ -1019,6 +1021,7 @@ func (m *Mediator) record(e HistoryEntry) {
 		e.Clock = m.wh.Now()
 	}
 	m.history = append(m.history, e)
+	m.historyReq[e.Requester] = struct{}{}
 	if m.persist != nil {
 		m.persist.persistHistory(e)
 	}

@@ -150,6 +150,9 @@ func (m *Mediator) openDurable(cfg DurabilityConfig) error {
 			}
 		}
 		m.history = append(m.history, s.History...)
+		for _, e := range s.History {
+			m.historyReq[e.Requester] = struct{}{}
+		}
 	}
 	for _, e := range dl.RecoveredEntries() {
 		var rec walRecord
@@ -162,6 +165,7 @@ func (m *Mediator) openDurable(cfg DurabilityConfig) error {
 			m.ledger.restore(rec.Requester, fromWire(*rec.Release))
 		case rec.Kind == kindHistory && rec.History != nil:
 			m.history = append(m.history, *rec.History)
+			m.historyReq[rec.History.Requester] = struct{}{}
 		default:
 			dl.Close()
 			return fmt.Errorf("mediator: malformed wal record %d (kind %q)", e.Seq, rec.Kind)

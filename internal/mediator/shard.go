@@ -14,8 +14,15 @@ package mediator
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"privateiye/internal/obs"
 	"privateiye/internal/refusal"
@@ -37,6 +44,24 @@ type ShardConfig struct {
 	// Vnodes is the virtual-node count per member (<= 0 takes
 	// shard.DefaultVnodes).
 	Vnodes int
+	// PeerURLs maps peer names to their base URLs. The gate needs them
+	// for the drain handshake: a router's X-Shard-Rerouted-From header
+	// is a CLAIM that some shards are draining, and this shard confirms
+	// the claim against each named peer's own /shard/status before
+	// taking ownership of a re-routed requester. Without URLs the claim
+	// is unverifiable and every re-route is refused, fail-closed; plain
+	// routing and the ownership gate work regardless. Undrain uses the
+	// same URLs to check peers for stranded re-routed state. Set them
+	// late with SetShardPeerURLs when they are not known at build time.
+	PeerURLs map[string]string
+	// DrainVerifyTTL caches a peer's drain-status verdict so a burst of
+	// re-routed queries costs one status fetch, not one per query
+	// (<= 0 = default 2s). The TTL bounds how long a stale "draining"
+	// verdict can outlive the peer's undrain.
+	DrainVerifyTTL time.Duration
+	// Client is the outbound HTTP client for peer status checks (nil =
+	// a default with a 2s timeout).
+	Client *http.Client
 }
 
 // NotOwnerError refuses a query that reached a shard other than the
@@ -77,17 +102,32 @@ func (e *DrainingError) Error() string {
 // NotOwner reason (503, never 403).
 func (e *DrainingError) RefusalReason() refusal.Reason { return refusal.NotOwner }
 
+// drainVerdict is one cached peer drain-status answer.
+type drainVerdict struct {
+	draining bool
+	at       time.Time
+}
+
 // shardState is the mediator's membership view, set once in New.
 type shardState struct {
-	id       string
-	ring     *shard.Ring
-	draining atomic.Bool
+	id        string
+	ring      *shard.Ring
+	draining  atomic.Bool
+	client    *http.Client
+	verifyTTL time.Duration
+
+	// mu guards the peer URL table (settable late via
+	// SetShardPeerURLs) and the drain-verdict cache.
+	mu       sync.Mutex
+	peerURLs map[string]string
+	verdicts map[string]drainVerdict
 
 	// Shard metric handles (nil when the mediator runs unobserved).
 	drainingGauge *obs.Gauge
 	notOwner      *obs.Counter
 	drainRefused  *obs.Counter
 	rerouted      *obs.Counter
+	rerouteDenied *obs.Counter
 }
 
 // reroutedKey carries the router's drain assertion through the request
@@ -131,13 +171,30 @@ func (m *Mediator) setupShard(cfg ShardConfig) error {
 	if !self {
 		return fmt.Errorf("mediator: shard peers %v do not include this shard's id %q", cfg.Peers, cfg.ID)
 	}
-	s := &shardState{id: cfg.ID, ring: ring}
+	s := &shardState{
+		id:        cfg.ID,
+		ring:      ring,
+		client:    cfg.Client,
+		verifyTTL: cfg.DrainVerifyTTL,
+		peerURLs:  map[string]string{},
+		verdicts:  map[string]drainVerdict{},
+	}
+	if s.client == nil {
+		s.client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if s.verifyTTL <= 0 {
+		s.verifyTTL = 2 * time.Second
+	}
+	for name, u := range cfg.PeerURLs {
+		s.peerURLs[name] = strings.TrimRight(u, "/")
+	}
 	if reg := m.cfg.Obs; reg != nil {
 		reg.Help("piye_shard_info", "Shard membership: one series per known peer, value 1; the self label marks this shard.")
 		reg.Help("piye_shard_draining", "1 while this shard is draining (refusing new requesters), else 0.")
 		reg.Help("piye_shard_not_owner_total", "Queries refused because the requester hashes to a different shard.")
 		reg.Help("piye_shard_draining_refusals_total", "New requesters refused while draining (re-routed by the router).")
-		reg.Help("piye_shard_rerouted_accepted_total", "Queries accepted as the drain-adjusted owner on a router re-route.")
+		reg.Help("piye_shard_rerouted_accepted_total", "Queries accepted as the drain-adjusted owner on a verified router re-route.")
+		reg.Help("piye_shard_reroute_denied_total", "Router drain assertions refused: the claimed shard was not verifiably draining, or placement disagreed.")
 		for _, p := range cfg.Peers {
 			selfLabel := "false"
 			if p == cfg.ID {
@@ -150,11 +207,32 @@ func (m *Mediator) setupShard(cfg ShardConfig) error {
 		s.notOwner = reg.Counter("piye_shard_not_owner_total", "shard", cfg.ID)
 		s.drainRefused = reg.Counter("piye_shard_draining_refusals_total", "shard", cfg.ID)
 		s.rerouted = reg.Counter("piye_shard_rerouted_accepted_total", "shard", cfg.ID)
+		s.rerouteDenied = reg.Counter("piye_shard_reroute_denied_total", "shard", cfg.ID)
 	}
 	m.shard = s
 	if m.obs != nil {
 		m.obs.shard = cfg.ID
 	}
+	return nil
+}
+
+// SetShardPeerURLs installs (or replaces) the peer base-URL table after
+// construction, for deployments where peer addresses are not known when
+// the mediator is built. Until URLs are set, drain re-routes are
+// refused fail-closed (the router's drain claim cannot be verified).
+func (m *Mediator) SetShardPeerURLs(urls map[string]string) error {
+	s := m.shard
+	if s == nil {
+		return fmt.Errorf("mediator: not sharded")
+	}
+	cp := make(map[string]string, len(urls))
+	for name, u := range urls {
+		cp[name] = strings.TrimRight(u, "/")
+	}
+	s.mu.Lock()
+	s.peerURLs = cp
+	s.verdicts = map[string]drainVerdict{}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -167,16 +245,22 @@ func (m *Mediator) setupShard(cfg ShardConfig) error {
 //	full-ring owner, not draining          -> serve
 //	full-ring owner, draining, has state   -> serve (finish what we own)
 //	full-ring owner, draining, new         -> DrainingError (router re-routes)
-//	not owner, router asserted a drain and
-//	  we are the drain-adjusted owner      -> serve (take ownership)
+//	not owner, router asserted a drain,
+//	  every shard ranked ahead of us is in
+//	  the assertion AND confirmed draining
+//	  by its own /shard/status             -> serve (take ownership)
 //	anything else                          -> NotOwnerError
 //
-// The drain re-route is verified, not trusted: the router's
-// X-Shard-Rerouted-From header only names which shards to exclude, and
-// the gate recomputes ownership over the remainder with the same pure
-// placement function the router used. A forged or stale header can make
-// this shard refuse (fail-closed), never make it serve a requester the
-// ring places elsewhere among the live shards it knows.
+// The drain re-route is verified, not trusted, in two parts. Placement:
+// the X-Shard-Rerouted-From header only names which shards to exclude,
+// and the gate recomputes ownership over the remainder with the same
+// pure placement function the router used. Drain truth: each excluded
+// shard that actually ranks ahead of this one must CONFIRM it is
+// draining via its own /shard/status (verdicts cached briefly, see
+// DrainVerifyTTL) — the header is a claim, not a credential, and any
+// HTTP client can send it. A forged, stale, or unverifiable assertion
+// can only cause a refusal (fail-closed), never make this shard serve
+// a requester whose control state lives on a live, non-draining owner.
 func (m *Mediator) shardGate(ctx context.Context, requester string) error {
 	s := m.shard
 	if s == nil {
@@ -198,11 +282,14 @@ func (m *Mediator) shardGate(ctx context.Context, requester string) error {
 		return nil
 	}
 	if drained := ReroutedFrom(ctx); len(drained) > 0 {
-		if adj, err := s.ring.LookupExcluding(requester, drained); err == nil && adj == s.id {
+		if m.verifyReroute(ctx, requester, drained) {
 			if s.rerouted != nil {
 				s.rerouted.Inc()
 			}
 			return nil
+		}
+		if s.rerouteDenied != nil {
+			s.rerouteDenied.Inc()
 		}
 	}
 	if s.notOwner != nil {
@@ -211,21 +298,87 @@ func (m *Mediator) shardGate(ctx context.Context, requester string) error {
 	return &NotOwnerError{Shard: s.id, Requester: requester, Owner: owner}
 }
 
+// verifyReroute decides whether this shard may take ownership of a
+// requester the full ring places elsewhere, given the router's asserted
+// drained set. It walks the requester's preference chain: every shard
+// ranked ahead of this one must be named in the assertion AND confirmed
+// draining by that shard itself. Only load-bearing exclusions are
+// checked — names in the assertion that never rank ahead of us are
+// irrelevant and cost nothing.
+func (m *Mediator) verifyReroute(ctx context.Context, requester string, asserted []string) bool {
+	s := m.shard
+	claimed := make(map[string]bool, len(asserted))
+	for _, name := range asserted {
+		claimed[strings.TrimSpace(name)] = true
+	}
+	var excluded []string
+	for i := 0; i < s.ring.Len(); i++ {
+		owner, err := s.ring.LookupExcluding(requester, excluded)
+		if err != nil {
+			return false
+		}
+		if owner == s.id {
+			return true
+		}
+		if !claimed[owner] || !s.peerDraining(ctx, owner) {
+			return false
+		}
+		excluded = append(excluded, owner)
+	}
+	return false
+}
+
+// peerDraining confirms a drain claim with the claimed shard itself:
+// GET its /shard/status and read the draining flag. Verdicts (including
+// failures, recorded as not-draining) are cached for verifyTTL so a
+// re-route burst costs one fetch and a dead peer is not hammered once
+// per query. No URL, unreachable, or non-200 all answer false —
+// unverifiable means refused.
+func (s *shardState) peerDraining(ctx context.Context, name string) bool {
+	s.mu.Lock()
+	if v, ok := s.verdicts[name]; ok && time.Since(v.at) < s.verifyTTL {
+		s.mu.Unlock()
+		return v.draining
+	}
+	url, ok := s.peerURLs[name]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	draining := false
+	if req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/shard/status", nil); err == nil {
+		if resp, err := s.client.Do(req); err == nil {
+			var st struct {
+				Draining bool `json:"draining"`
+			}
+			if resp.StatusCode == http.StatusOK &&
+				json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st) == nil {
+				draining = st.Draining
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	s.mu.Lock()
+	s.verdicts[name] = drainVerdict{draining: draining, at: time.Now()}
+	s.mu.Unlock()
+	return draining
+}
+
 // hasRequesterState reports whether this shard holds durable control
 // state for the requester — a query history or ledgered releases, both
 // rebuilt from snapshot+WAL replay at startup. This is what makes a
 // drain safe: requesters with state stay until the operator retires the
 // shard, requesters without state lose nothing by being placed
-// elsewhere.
+// elsewhere. O(1): the history keeps a requester index (historyReq)
+// alongside the entries, and the ledger is already keyed by requester.
 func (m *Mediator) hasRequesterState(requester string) bool {
 	m.mu.RLock()
-	for _, e := range m.history {
-		if e.Requester == requester {
-			m.mu.RUnlock()
-			return true
-		}
-	}
+	_, inHistory := m.historyReq[requester]
 	m.mu.RUnlock()
+	if inHistory {
+		return true
+	}
 	m.ledger.mu.Lock()
 	_, ok := m.ledger.byRequester[requester]
 	m.ledger.mu.Unlock()
@@ -246,14 +399,77 @@ func (m *Mediator) Drain() error {
 	return nil
 }
 
-// Undrain clears the drain mark.
-func (m *Mediator) Undrain() error {
-	if m.shard == nil {
+// Undrain clears the drain mark — but only after confirming no peer
+// holds control state this shard would reclaim. A requester re-routed
+// during the drain built their ledger and history on the drain-adjusted
+// owner; once the full ring applies again, THIS shard would serve them
+// from a fresh ledger while their real release history sits elsewhere —
+// exactly the refusal-weakening sharding exists to prevent. So undrain
+// asks every peer for its misplaced-state view (/shard/status?
+// misplaced=1) and refuses, fail-closed, when any peer reports state
+// owned here, when a peer cannot be reached, or when no peer URLs are
+// configured (other shards may still have verified re-routes against
+// this one). force skips the check: for the operator who has migrated
+// the stranded state by hand, or accepts the loss knowingly.
+func (m *Mediator) Undrain(ctx context.Context, force bool) error {
+	s := m.shard
+	if s == nil {
 		return fmt.Errorf("mediator: not sharded")
 	}
-	m.shard.draining.Store(false)
-	if m.shard.drainingGauge != nil {
-		m.shard.drainingGauge.Set(0)
+	if !force {
+		if err := m.strandedByUndrain(ctx); err != nil {
+			return err
+		}
+	}
+	s.draining.Store(false)
+	if s.drainingGauge != nil {
+		s.drainingGauge.Set(0)
+	}
+	return nil
+}
+
+// strandedByUndrain is Undrain's safety check: an error describes the
+// re-routed requester state that undraining would strand (or why it
+// could not be ruled out). The phrase "undrain refused" is part of the
+// admin wire surface — runbooks grep for it.
+func (m *Mediator) strandedByUndrain(ctx context.Context) error {
+	s := m.shard
+	s.mu.Lock()
+	peers := make(map[string]string, len(s.peerURLs))
+	for name, u := range s.peerURLs {
+		peers[name] = u
+	}
+	s.mu.Unlock()
+	if len(peers) == 0 {
+		return fmt.Errorf("mediator: undrain refused: no shard peer URLs configured, so re-routed requester state stranded on the drain-adjusted owners cannot be ruled out (migrate state or force)")
+	}
+	for _, mem := range s.ring.Members() {
+		if mem.Name == s.id {
+			continue
+		}
+		url, ok := peers[mem.Name]
+		if !ok {
+			return fmt.Errorf("mediator: undrain refused: no URL configured for peer %s, cannot confirm it holds no re-routed state for this shard (migrate state or force)", mem.Name)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/shard/status?misplaced=1", nil)
+		if err != nil {
+			return fmt.Errorf("mediator: undrain refused: peer %s: %w", mem.Name, err)
+		}
+		resp, err := s.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("mediator: undrain refused: cannot confirm peer %s holds no re-routed state: %v (migrate state or force)", mem.Name, err)
+		}
+		var st ShardStatus
+		decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			return fmt.Errorf("mediator: undrain refused: peer %s status unreadable (HTTP %d): cannot confirm it holds no re-routed state (migrate state or force)", mem.Name, resp.StatusCode)
+		}
+		if stranded := st.Misplaced[s.id]; len(stranded) > 0 {
+			return fmt.Errorf("mediator: undrain refused: peer %s holds control state for requester(s) %s that the full ring places on this shard; undraining would serve them from a fresh ledger (migrate state or force)",
+				mem.Name, strings.Join(stranded, ", "))
+		}
 	}
 	return nil
 }
@@ -264,6 +480,13 @@ type ShardStatus struct {
 	Draining bool           `json:"draining"`
 	Seed     uint64         `json:"seed"`
 	Peers    []shard.Member `json:"peers"`
+	// Misplaced maps full-ring owner -> requesters whose control state
+	// lives HERE although the full ring places them on that owner
+	// (state adopted through drain re-routes, or left behind by a
+	// membership change). Populated only on request
+	// (/shard/status?misplaced=1) — computing it walks every requester
+	// with state, which the hot path must never pay.
+	Misplaced map[string][]string `json:"misplaced,omitempty"`
 }
 
 // ShardInfo reports the shard view (nil when unsharded).
@@ -278,4 +501,37 @@ func (m *Mediator) ShardInfo() *ShardStatus {
 		Seed:     s.ring.Seed(),
 		Peers:    s.ring.Members(),
 	}
+}
+
+// ShardMisplaced computes the misplaced-state view for ShardStatus:
+// every requester with durable control state here whose full-ring owner
+// is another shard, grouped by that owner. Nil when unsharded; empty
+// when all local state is owned here. O(requesters with state) — admin
+// surface only.
+func (m *Mediator) ShardMisplaced() map[string][]string {
+	s := m.shard
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	m.mu.RLock()
+	for r := range m.historyReq {
+		seen[r] = true
+	}
+	m.mu.RUnlock()
+	for _, r := range m.ledger.requesters() {
+		seen[r] = true
+	}
+	out := map[string][]string{}
+	for r := range seen {
+		owner, err := s.ring.Lookup(r)
+		if err != nil || owner == s.id {
+			continue
+		}
+		out[owner] = append(out[owner], r)
+	}
+	for _, rs := range out {
+		sort.Strings(rs)
+	}
+	return out
 }

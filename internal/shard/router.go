@@ -14,8 +14,10 @@ package shard
 // (a "draining: not accepting" 503), and the router re-routes those to
 // the drain-adjusted owner, asserting the drained set in the
 // X-Shard-Rerouted-From header. The landing shard VERIFIES the
-// assertion against its own ring rather than trusting it — see
-// internal/mediator/shard.go and DESIGN.md §13.
+// assertion rather than trusting it: it recomputes placement on its
+// own ring AND confirms each claimed shard is draining against that
+// shard's own /shard/status — see internal/mediator/shard.go and
+// DESIGN.md §13.
 
 import (
 	"bytes"
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
@@ -74,6 +77,25 @@ type backendState struct {
 	mu      sync.Mutex
 	healthy bool
 	lastErr string
+	// markedAt is when this router last changed the shard's drain mark
+	// itself (admin endpoint or a learned draining-refusal). A status
+	// probe that STARTED before that instant observed the pre-change
+	// world and must not overwrite the newer local mark.
+	markedAt time.Time
+}
+
+// noteMark records a local drain-mark change.
+func (bs *backendState) noteMark() {
+	bs.mu.Lock()
+	bs.markedAt = time.Now()
+	bs.mu.Unlock()
+}
+
+// markChangedSince reports whether the local mark changed after t.
+func (bs *backendState) markChangedSince(t time.Time) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.markedAt.After(t)
 }
 
 // Router proxies /query to the owning shard.
@@ -211,6 +233,41 @@ func (rt *Router) probe(bs *backendState) {
 	bs.healthy = ok
 	bs.lastErr = msg
 	bs.mu.Unlock()
+	rt.syncDrainMark(ctx, bs)
+}
+
+// syncDrainMark converges the router's drain view with the shard's own:
+// the poller reads /shard/status and mirrors the draining flag into the
+// ring. Marks learned from a shard's "draining: not accepting" refusal
+// or set through another router's admin surface would otherwise never
+// clear here — a shard-direct or peer-router undrain left this router
+// asserting a stale drained set on every re-route. Fetch failures (and
+// unsharded shards' 404s) leave the current mark untouched, and so does
+// an observation that started before the router's own latest mark
+// change — it saw the pre-admin world and must not revert it.
+func (rt *Router) syncDrainMark(ctx context.Context, bs *backendState) {
+	started := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, bs.URL+"/shard/status", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Draining bool `json:"draining"`
+	}
+	if resp.StatusCode != http.StatusOK ||
+		json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&st) != nil {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	if bs.markChangedSince(started) {
+		return
+	}
+	_ = rt.ring.SetDraining(bs.Name, st.Draining)
 }
 
 // isHealthy reports the last probe's verdict (always true without
@@ -444,6 +501,9 @@ func (rt *Router) serveQuery(w http.ResponseWriter, r *http.Request) {
 		// Learn the drain even when it was applied at the shard directly
 		// rather than through our admin surface.
 		_ = rt.ring.SetDraining(pe.shard, true)
+		if bs, ok := rt.byName[pe.shard]; ok {
+			bs.noteMark()
+		}
 		drained = appendMissing(drained, pe.shard)
 		adj, lerr := rt.ring.LookupExcluding(requester, drained)
 		if lerr != nil {
@@ -528,9 +588,10 @@ type shardView struct {
 }
 
 // Handler mounts the router's HTTP surface: POST /query (the proxy),
-// GET /shards, POST /shards/drain and /shards/undrain (admin; the drain
-// propagates to the shard's own /shard/drain), plus the standard
-// /healthz, /readyz, /metrics and /debug/trace.
+// GET /shards, POST /shards/drain and /shards/undrain (admin; both
+// propagate to the shard's own /shard/drain|undrain, and undrain
+// forwards ?force=1), plus the standard /healthz, /readyz, /metrics
+// and /debug/trace.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", rt.serveQuery)
@@ -559,7 +620,10 @@ func (rt *Router) Handler() http.Handler {
 
 	// Drain/undrain: mark the ring AND tell the shard, in that order for
 	// drain (so no new requester races into the draining shard through
-	// us) and the reverse for undrain.
+	// us) and the reverse for undrain. Undrain forwards ?force= to the
+	// shard, which refuses (409) while re-routed requester state is
+	// stranded on the drain-adjusted owners — the refusal passes back
+	// verbatim with its status, and the ring mark stands.
 	drainAdmin := func(drain bool) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			name := r.URL.Query().Get("name")
@@ -572,16 +636,21 @@ func (rt *Router) Handler() http.Handler {
 			if drain {
 				path = "/shard/drain"
 				_ = rt.ring.SetDraining(name, true)
+				bs.noteMark()
+			} else if force := r.URL.Query().Get("force"); force != "" {
+				path += "?force=" + url.QueryEscape(force)
 			}
+			shardStatus := 0
 			req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, bs.URL+path, nil)
 			if err == nil {
 				var resp *http.Response
 				resp, err = rt.client.Do(req)
 				if err == nil {
-					io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+					b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 					resp.Body.Close()
 					if resp.StatusCode >= 400 {
-						err = fmt.Errorf("shard answered %d", resp.StatusCode)
+						shardStatus = resp.StatusCode
+						err = fmt.Errorf("shard answered %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
 					}
 				}
 			}
@@ -593,11 +662,18 @@ func (rt *Router) Handler() http.Handler {
 				return
 			}
 			if err != nil {
-				http.Error(w, fmt.Sprintf("router: undraining %s: %v", name, err), http.StatusBadGateway)
+				// Mirror the shard's own refusal status when it gave one
+				// (409 undrain refused); 502 only for transport failures.
+				code := http.StatusBadGateway
+				if shardStatus >= 400 {
+					code = shardStatus
+				}
+				http.Error(w, fmt.Sprintf("router: undraining %s: %v", name, err), code)
 				return
 			}
 			if !drain {
 				_ = rt.ring.SetDraining(name, false)
+				bs.noteMark()
 			}
 			w.WriteHeader(http.StatusNoContent)
 		}

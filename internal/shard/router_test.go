@@ -19,10 +19,11 @@ type fakeShard struct {
 	name string
 	srv  *httptest.Server
 
-	mu      sync.Mutex
-	reqs    []string // requester per received query
-	headers []string // X-Shard-Rerouted-From per received query
-	handler func(w http.ResponseWriter, r *http.Request)
+	mu       sync.Mutex
+	reqs     []string // requester per received query
+	headers  []string // X-Shard-Rerouted-From per received query
+	draining bool     // what /shard/status reports
+	handler  func(w http.ResponseWriter, r *http.Request)
 }
 
 func newFakeShard(t *testing.T, name string) *fakeShard {
@@ -44,6 +45,13 @@ func newFakeShard(t *testing.T, name string) *fakeShard {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok"))
 	})
+	mux.HandleFunc("GET /shard/status", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		draining := f.draining
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"id":%q,"draining":%v}`, f.name, draining)
+	})
 	f.srv = httptest.NewServer(mux)
 	t.Cleanup(f.srv.Close)
 	return f
@@ -52,6 +60,12 @@ func newFakeShard(t *testing.T, name string) *fakeShard {
 func (f *fakeShard) setHandler(h func(w http.ResponseWriter, r *http.Request)) {
 	f.mu.Lock()
 	f.handler = h
+	f.mu.Unlock()
+}
+
+func (f *fakeShard) setDraining(v bool) {
+	f.mu.Lock()
+	f.draining = v
 	f.mu.Unlock()
 }
 
@@ -278,6 +292,50 @@ func TestRouterDrainReroute(t *testing.T) {
 	if o, _ := ref.Lookup(requester); o != "shard-a" {
 		t.Fatal("full-ring ownership moved on drain")
 	}
+}
+
+// TestRouterDrainMarksConverge: the health poller mirrors each shard's
+// own /shard/status draining flag into the router's ring, so drain
+// marks learned from refusal sniffing (or set by another router's
+// admin surface) converge with the shards' actual state instead of
+// sticking forever.
+func TestRouterDrainMarksConverge(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t, "shard-a"), newFakeShard(t, "shard-b")}
+	rt, _ := newTestRouter(t, shards, func(cfg *RouterConfig) {
+		cfg.HealthEvery = 20 * time.Millisecond
+	})
+
+	drainMark := func(name string) bool {
+		for _, m := range rt.ring.Members() {
+			if m.Name == name {
+				return m.Draining
+			}
+		}
+		t.Fatalf("member %s missing from ring", name)
+		return false
+	}
+	waitFor := func(name string, want bool, msg string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for drainMark(name) != want {
+			if time.Now().After(deadline) {
+				t.Fatal(msg)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// A drain applied at the shard directly (not through this router's
+	// admin surface) is learned by the poller, traffic or no traffic.
+	shards[0].setDraining(true)
+	waitFor("shard-a", true, "router never learned shard-a's shard-direct drain")
+
+	// And a shard-direct undrain clears the mark. Before the fix a
+	// learned mark could only be cleared through this router instance's
+	// own /shards/undrain, so a multi-router deployment kept asserting
+	// a stale drained set in X-Shard-Rerouted-From forever.
+	shards[0].setDraining(false)
+	waitFor("shard-a", false, "router kept a stale drain mark after the shard undrained")
 }
 
 // TestRouterHealthGate: a shard failing /readyz is refused fast with a
