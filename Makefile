@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-fast test-race test-short test-integration test-shard cover bench bench-quick bench-batch bench-guard bench-baseline attack experiments examples fmt fuzz crash
+.PHONY: all build vet test test-fast test-race test-short test-integration test-shard cover bench bench-quick bench-batch bench-psi bench-guard bench-baseline attack experiments examples fmt fuzz crash
 
 all: build vet test
 
@@ -56,6 +56,14 @@ bench-batch:
 	$(GO) test -run '^$$' -bench 'WALAppendAlways|AppendRecord' -benchmem ./internal/durable/
 	$(GO) test -run '^$$' -bench 'BenchmarkBlind|ExponentiateBatch' -benchmem ./internal/psi/
 
+# The PSI suite comparison: cold-start blinding across suites (the
+# number the EC default is justified by), the allocation-sensitive
+# hash-to-group kernels, and the E25 acceptance gate (>=5x cold blind,
+# <=35 B/elem, >=7x wire ratio — E25 exits non-zero if violated).
+bench-psi:
+	$(GO) test -run '^$$' -bench 'BenchmarkBlindCold|BenchmarkHashToGroup' -benchmem ./internal/psi/
+	$(GO) run ./cmd/piye-bench -quick -only E25
+
 # Perf guard: fails when the best of several measurement rounds is more
 # than 10% slower than the committed baseline (bench/baseline.json).
 bench-guard:
@@ -66,13 +74,16 @@ bench-baseline:
 	$(GO) run ./cmd/piye-bench -update-baseline bench/baseline.json
 
 # Short native-fuzzing runs over the untrusted-input decoders and the
-# ring invariants: WAL record decoding, the PIQL parser, and shard
-# placement under arbitrary membership churn. Raise FUZZTIME for
-# longer hunts.
+# ring invariants: WAL record decoding, the PIQL parser, the PSI wire
+# envelope and element decoders (both suites), and shard placement
+# under arbitrary membership churn. Raise FUZZTIME for longer hunts.
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/durable/
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/piql/
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalElems -fuzztime $(FUZZTIME) ./internal/psi/
+	$(GO) test -run '^$$' -fuzz FuzzP256DecodeElement -fuzztime $(FUZZTIME) ./internal/psi/
+	$(GO) test -run '^$$' -fuzz FuzzModPDecodeElement -fuzztime $(FUZZTIME) ./internal/psi/
 	$(GO) test -run '^$$' -fuzz FuzzRingLookup -fuzztime $(FUZZTIME) ./internal/shard/
 
 # Crash-injection matrix: every durable-log failpoint under every fsync

@@ -264,12 +264,11 @@ func BenchmarkPerturbationNoise(b *testing.B) {
 func BenchmarkPSIIntersect(b *testing.B) {
 	for _, n := range []int{100, 300} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			g := psi.TestGroup()
-			pa, err := psi.NewParty(g, rand.Reader)
+			pa, err := psi.NewParty(psi.TestSuite(), rand.Reader)
 			if err != nil {
 				b.Fatal(err)
 			}
-			pb, err := psi.NewParty(g, rand.Reader)
+			pb, err := psi.NewParty(psi.TestSuite(), rand.Reader)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,6 +1,6 @@
 // Command piye-bench runs the PRIVATE-IYE experiment harness: every table
 // and figure of EXPERIMENTS.md, printed as aligned text tables. E1–E4
-// regenerate the paper's Figure 1; E5–E24 measure the architecture's
+// regenerate the paper's Figure 1; E5–E25 measure the architecture's
 // design choices.
 //
 // Usage:
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only the named experiment (E1..E24)")
+	only := flag.String("only", "", "run only the named experiment (E1..E25)")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	guard := flag.String("guard", "", "compare the perf-guard metrics against this baseline JSON and exit 1 on regression")
 	updateBaseline := flag.String("update-baseline", "", "measure the perf-guard metrics and write them to this baseline JSON")
@@ -173,6 +173,13 @@ func main() {
 				clients, queriesPer = 32, 10
 			}
 			return experiments.E24RouterScaling(clients, queriesPer, []int{1, 2, 4})
+		})},
+		{"E25", wrap(func() (*experiments.Table, error) {
+			suiteSizes, modpCap := []int{1000, 10000}, 256
+			if *quick {
+				suiteSizes, modpCap = []int{300, 1000}, 64
+			}
+			return experiments.E25PSISuites(suiteSizes, modpCap)
 		})},
 	}
 

@@ -28,6 +28,7 @@ import (
 	"privateiye/internal/durable"
 	"privateiye/internal/mediator"
 	"privateiye/internal/obs"
+	"privateiye/internal/psi"
 	"privateiye/internal/resilience"
 	"privateiye/internal/shard"
 	"privateiye/internal/source"
@@ -56,6 +57,7 @@ func main() {
 	whCap := flag.Int("warehouse", 0, "warehouse capacity (0 = pure virtual querying)")
 	whTTL := flag.Int64("warehouse-ttl", 100, "warehouse freshness in integration rounds")
 	salt := flag.String("salt", defaultSalt, "shared linkage salt")
+	psiSuite := flag.String("psi-suite", psi.DefaultSuiteName, "preferred PSI ciphersuite: p256 (fast EC default) | modp2048; the fleet negotiates at schema refresh and fails closed to modp2048 when any source cannot do better")
 	srcTimeout := flag.Duration("source-timeout", 10*time.Second, "per-source deadline during fan-out (0 = none)")
 	retries := flag.Int("retries", 3, "attempts per source call (1 = no retry)")
 	brkFailures := flag.Int("breaker-failures", 5, "consecutive failures before a source's circuit opens (0 = breaker off)")
@@ -197,6 +199,7 @@ func main() {
 		WarehouseTTL:      *whTTL,
 		MaxDisclosure:     *maxDisc,
 		LedgerTolerance:   *ledgerTol,
+		PSISuite:          *psiSuite,
 		SourceTimeout:     *srcTimeout,
 		Resilience:        res,
 		Durability:        dur,
@@ -239,6 +242,11 @@ func main() {
 	if st := med.ShardInfo(); st != nil {
 		log.Printf("piye-mediator sharding: shard %s of %d peers (seed %d); requesters owned elsewhere answer 503 not-owner",
 			st.ID, len(st.Peers), st.Seed)
+	}
+	if got := med.PSISuite(); got != *psiSuite {
+		log.Printf("piye-mediator psi: preferred suite %s, fleet negotiated %s", *psiSuite, got)
+	} else {
+		log.Printf("piye-mediator psi: suite %s", got)
 	}
 	log.Printf("piye-mediator serving %d sources on %s (schema: %d paths)",
 		len(eps), *addr, med.MediatedSchema().Len())

@@ -75,7 +75,7 @@ func main() {
 	n, err := mediator.PrivateOverlap(context.Background(),
 		source.NewClient(nodeA.URL, "hospitalA"),
 		source.NewClient(nodeB.URL, "hospitalB"),
-		"diagnosis")
+		"diagnosis", "")
 	if err != nil {
 		log.Fatal(err)
 	}

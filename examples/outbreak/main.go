@@ -78,7 +78,7 @@ func main() {
 
 	// Private overlap: how many patients do the two registries share?
 	eps := sys.Endpoints()
-	n, err := mediator.PrivateOverlap(context.Background(), eps[3], eps[4], "name")
+	n, err := mediator.PrivateOverlap(context.Background(), eps[3], eps[4], "name", "")
 	if err != nil {
 		log.Fatal(err)
 	}

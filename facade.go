@@ -219,6 +219,20 @@ func DefaultPSIGroup() *PSIGroup { return psi.DefaultGroup() }
 // TestPSIGroup returns the fast 768-bit Oakley group (demos only).
 func TestPSIGroup() *PSIGroup { return psi.TestGroup() }
 
+// PSISuite is a pluggable PSI group kernel: hash-to-group, fixed-secret
+// exponentiation and canonical wire encoding over one prime-order group.
+type PSISuite = psi.Suite
+
+// P256PSISuite returns the NIST P-256 elliptic-curve suite — the fast
+// default: ~10x cheaper group operations and ~8x smaller elements than
+// the 2048-bit MODP group.
+func P256PSISuite() PSISuite { return psi.P256Suite() }
+
+// ModPPSISuite wraps a safe-prime group as a suite ("modp2048" for the
+// default group) — the fail-closed floor a mixed fleet negotiates down
+// to when a legacy source cannot speak the curve suite.
+func ModPPSISuite(g *PSIGroup) PSISuite { return psi.ModPSuite(g) }
+
 // --- Queries --------------------------------------------------------------------------
 
 // Query is a parsed PIQL query; Result a rectangular query result.
@@ -237,14 +251,23 @@ type Endpoint = source.Endpoint
 
 // PrivateOverlap counts |A ∩ B| of two sources' field values via relayed
 // PSI: neither source reveals its set; the caller learns only the size.
+// Each source uses its preferred suite; pass an explicit suite via
+// PrivateOverlapSuite when the fleet is mixed.
 func PrivateOverlap(a, b Endpoint, field string) (int, error) {
-	return mediator.PrivateOverlap(context.Background(), a, b, field)
+	return mediator.PrivateOverlap(context.Background(), a, b, field, "")
 }
 
 // PrivateOverlapContext is PrivateOverlap under the caller's context:
 // cancellation and deadlines propagate to both sources.
 func PrivateOverlapContext(ctx context.Context, a, b Endpoint, field string) (int, error) {
-	return mediator.PrivateOverlap(ctx, a, b, field)
+	return mediator.PrivateOverlap(ctx, a, b, field, "")
+}
+
+// PrivateOverlapSuite is PrivateOverlapContext pinned to a named PSI
+// suite ("p256", "modp2048") — what a mediator passes after negotiating
+// the fleet's common suite (see Mediator.Overlap / Mediator.PSISuite).
+func PrivateOverlapSuite(ctx context.Context, a, b Endpoint, field, suite string) (int, error) {
+	return mediator.PrivateOverlap(ctx, a, b, field, suite)
 }
 
 // --- Resilience -----------------------------------------------------------

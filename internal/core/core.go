@@ -40,6 +40,12 @@ type SystemConfig struct {
 	// PSIGroup selects the DH group (DefaultGroup when nil; TestGroup in
 	// tests/benchmarks for speed).
 	PSIGroup *psi.Group
+	// PSISuite selects the PSI ciphersuite the mediator prefers at
+	// negotiation ("" = psi.DefaultSuiteName, the P-256 elliptic-curve
+	// suite). Naming a MODP suite additionally pins every in-process
+	// source to it — each local advertises only that suite, so a fleet
+	// configured this way can never negotiate up to the curve.
+	PSISuite string
 	// DedupColumn / DedupThreshold configure the Result Integrator's
 	// fuzzy duplicate elimination.
 	DedupColumn    string
@@ -146,6 +152,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if group == nil {
 		group = psi.DefaultGroup()
 	}
+	if cfg.PSISuite != "" {
+		if _, err := psi.SuiteByName(cfg.PSISuite); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	sys := &System{}
 	for _, sc := range cfg.Sources {
 		// System-wide performance knobs reach every source that did not
@@ -174,6 +185,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		// Coalesce reaches the sources too: concurrent identical
 		// whole-column linkage calls share one computation.
 		local.Coalesce = cfg.Coalesce
+		// A MODP-pinned fleet advertises only its pinned suite, so suite
+		// negotiation fails closed to it instead of picking the curve.
+		if cfg.PSISuite != "" && cfg.PSISuite != psi.SuiteNameP256 {
+			local.AdvertisedSuites = []string{cfg.PSISuite}
+		}
 		sys.locals = append(sys.locals, local)
 		sys.eps = append(sys.eps, local)
 	}
@@ -203,6 +219,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		WarehouseCapacity: cfg.WarehouseCapacity,
 		WarehouseTTL:      cfg.WarehouseTTL,
 		MaxDisclosure:     cfg.MaxDisclosure,
+		PSISuite:          cfg.PSISuite,
 		SourceTimeout:     cfg.SourceTimeout,
 		Resilience:        cfg.Resilience,
 		Durability:        dur,

@@ -222,7 +222,7 @@ func E23Amortization(appendsPerWriter, bursts, burstSize, psiItems int) (*Table,
 	coldRate := func(batch bool, reps int) (float64, error) {
 		parties := make([]*psi.Party, reps)
 		for i := range parties {
-			p, err := psi.NewParty(g, crand.Reader)
+			p, err := psi.NewParty(psi.ModPSuite(g), crand.Reader)
 			if err != nil {
 				return 0, err
 			}
@@ -248,7 +248,7 @@ func E23Amortization(appendsPerWriter, bursts, burstSize, psiItems int) (*Table,
 	}
 	// Warm blinds are pure precomputation-table lookups: here per-item
 	// dispatch and per-item RLocks are the entire cost being amortized.
-	warm, err := psi.NewParty(g, crand.Reader)
+	warm, err := psi.NewParty(psi.ModPSuite(g), crand.Reader)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +268,7 @@ func E23Amortization(appendsPerWriter, bursts, burstSize, psiItems int) (*Table,
 	warmBatch := warmRate(true, 50)
 	// Exponentiation never caches (peer blinds are fresh each round), so
 	// this is the steady-state column-kernel rate.
-	expParty, err := psi.NewParty(g, crand.Reader)
+	expParty, err := psi.NewParty(psi.ModPSuite(g), crand.Reader)
 	if err != nil {
 		return nil, err
 	}

@@ -362,3 +362,31 @@ func TestE24(t *testing.T) {
 		t.Errorf("overhead row %v lacks the direct-vs-routed comparison", tab.Rows[2])
 	}
 }
+
+func TestE25(t *testing.T) {
+	// Tiny sizes keep the modp2048 rows cheap; the acceptance gates
+	// (>=5x cold blind, <=35 B/elem, >=7x wire ratio) are enforced
+	// inside E25PSISuites itself — err != nil IS the failing signal.
+	tab, err := E25PSISuites([]int{64}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two suite rows plus one speedup row per size.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+	if tab.Rows[0][0] != "p256" || tab.Rows[0][5] != "33" {
+		t.Errorf("p256 row = %v, want 33-byte elements", tab.Rows[0])
+	}
+	if tab.Rows[1][0] != "modp2048" || tab.Rows[1][5] != "256" {
+		t.Errorf("modp2048 row = %v, want 256-byte elements", tab.Rows[1])
+	}
+	if !strings.Contains(tab.Rows[2][2], "x") {
+		t.Errorf("speedup row %v lacks a multiplier", tab.Rows[2])
+	}
+}

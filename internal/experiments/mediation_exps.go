@@ -44,11 +44,11 @@ func E9PSI(sizes []int) (*Table, error) {
 			}
 		}
 
-		a, err := psi.NewParty(g, rand.Reader)
+		a, err := psi.NewParty(psi.ModPSuite(g), rand.Reader)
 		if err != nil {
 			return nil, err
 		}
-		b, err := psi.NewParty(g, rand.Reader)
+		b, err := psi.NewParty(psi.ModPSuite(g), rand.Reader)
 		if err != nil {
 			return nil, err
 		}

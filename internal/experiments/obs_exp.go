@@ -225,7 +225,7 @@ func measureGuardRounds(queries, rounds int) (map[string][]float64, error) {
 	}
 	if err := measure("psi_blind_item", func() (float64, error) {
 		g := psi.TestGroup()
-		p, err := psi.NewParty(g, rand.Reader)
+		p, err := psi.NewParty(psi.ModPSuite(g), rand.Reader)
 		if err != nil {
 			return 0, err
 		}
@@ -243,7 +243,7 @@ func measureGuardRounds(queries, rounds int) (map[string][]float64, error) {
 	// table lookups, where chunked dispatch is the entire cost. One party
 	// is warmed once and shared across rounds — steady state is the path
 	// the endpoints run on every integration round.
-	batchParty, err := psi.NewParty(psi.TestGroup(), rand.Reader)
+	batchParty, err := psi.NewParty(psi.TestSuite(), rand.Reader)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +259,34 @@ func measureGuardRounds(queries, rounds int) (map[string][]float64, error) {
 			batchParty.BlindBatch(batchItems)
 		}
 		return float64(time.Since(start).Nanoseconds()) / float64(reps*len(batchItems)), nil
+	}); err != nil {
+		return nil, err
+	}
+	// The EC suite's cold path: a fresh p256 party per round (no
+	// precomputation table), ns per blinded item. Guards the
+	// hash-to-curve and scalar-mult kernels the new default rides on.
+	if err := measure("psi_ec_blind_cold", func() (float64, error) {
+		p, err := psi.NewParty(psi.P256Suite(), rand.Reader)
+		if err != nil {
+			return 0, err
+		}
+		items := make([]string, 200)
+		for i := range items {
+			items[i] = fmt.Sprintf("patient-%d", i)
+		}
+		start := time.Now()
+		p.BlindBatch(items)
+		return float64(time.Since(start).Nanoseconds()) / float64(len(items)), nil
+	}); err != nil {
+		return nil, err
+	}
+	// Canonical wire width of one p256 element in bytes. Deterministic,
+	// so tolerance never saves it: any encoding change that fattens the
+	// element past the baseline fails the guard outright.
+	if err := measure("psi_ec_wire_bytes", func() (float64, error) {
+		s := psi.P256Suite()
+		e := s.HashToGroup(nil, "guard")
+		return float64(len(s.AppendElement(nil, e))), nil
 	}); err != nil {
 		return nil, err
 	}
@@ -393,7 +421,7 @@ func CheckBaseline(path string, queries, rounds int, tolerance float64) (*Table,
 		Header: []string{"metric", "baseline", "current (best)", "delta", "verdict"},
 	}
 	var failed []string
-	for _, name := range []string{"cached_query", "fanout_query", "psi_blind_item", "psi_blind_batch_item", "wal_group_append", "router_lookup", "router_proxy"} {
+	for _, name := range []string{"cached_query", "fanout_query", "psi_blind_item", "psi_blind_batch_item", "psi_ec_blind_cold", "psi_ec_wire_bytes", "wal_group_append", "router_lookup", "router_proxy"} {
 		baseNs, ok := base.MetricsNs[name]
 		if !ok {
 			continue

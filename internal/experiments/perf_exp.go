@@ -39,7 +39,7 @@ func E19Parallelism(items int, workerCounts []int, cacheQueries int) (*Table, er
 		own[i] = fmt.Sprintf("patient-%d", i)
 	}
 	// A fixed peer party supplies the elements Exponentiate works on.
-	peerParty, err := psi.NewParty(g, rand.Reader)
+	peerParty, err := psi.NewParty(psi.ModPSuite(g), rand.Reader)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +47,7 @@ func E19Parallelism(items int, workerCounts []int, cacheQueries int) (*Table, er
 
 	var serialPSI time.Duration
 	for _, w := range workerCounts {
-		p, err := psi.NewParty(g, rand.Reader)
+		p, err := psi.NewParty(psi.ModPSuite(g), rand.Reader)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +69,7 @@ func E19Parallelism(items int, workerCounts []int, cacheQueries int) (*Table, er
 
 	// --- PSI blind precomputation table (warm repeated round) ----------
 	{
-		p, err := psi.NewParty(g, rand.Reader)
+		p, err := psi.NewParty(psi.ModPSuite(g), rand.Reader)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +82,7 @@ func E19Parallelism(items int, workerCounts []int, cacheQueries int) (*Table, er
 		dWarm := time.Since(start)
 		check := "identical"
 		for i := range cold {
-			if cold[i].Cmp(warm[i]) != 0 {
+			if !psi.ModPSuite(g).Equal(cold[i], warm[i]) {
 				check = "MISMATCH"
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"privateiye/internal/attack"
 	"privateiye/internal/clinical"
+	"privateiye/internal/psi"
 	"privateiye/internal/source"
 )
 
@@ -86,8 +87,14 @@ func (m *Mediator) CheckAggregateRelease(matrix [][]float64, places int, thresho
 // Integrator uses this to estimate duplication before deciding whether a
 // fuzzy dedup pass is worth its cost, and Example 2 uses it to count
 // shared patients across jurisdictions.
-func PrivateOverlap(ctx context.Context, a, b source.Endpoint, field string) (int, error) {
-	aBlind, err := a.PSIBlinded(ctx, field)
+//
+// suite names the group both sources must use ("" lets each source pick
+// its preferred suite — safe only when the fleet is homogeneous; the
+// mediator's Overlap method passes the suite it negotiated at schema
+// refresh). The relay cross-checks the envelopes' suite attributes and
+// refuses to compare elements from diverging groups.
+func PrivateOverlap(ctx context.Context, a, b source.Endpoint, field, suite string) (int, error) {
+	aBlind, err := a.PSIBlinded(ctx, field, suite)
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi blind %s: %w", a.Name(), err)
 	}
@@ -95,13 +102,20 @@ func PrivateOverlap(ctx context.Context, a, b source.Endpoint, field string) (in
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi exponentiate at %s: %w", b.Name(), err)
 	}
-	bBlind, err := b.PSIBlinded(ctx, field)
+	bBlind, err := b.PSIBlinded(ctx, field, suite)
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi blind %s: %w", b.Name(), err)
 	}
 	bDouble, err := a.PSIExponentiate(ctx, bBlind)
 	if err != nil {
 		return 0, fmt.Errorf("mediator: psi exponentiate at %s: %w", a.Name(), err)
+	}
+	// Comparing double-blinded encodings is only meaningful inside one
+	// group: a mixed fleet that slipped past negotiation must fail
+	// loudly, not report a bogus zero overlap.
+	if sa, sb := psi.WireSuiteName(aDouble), psi.WireSuiteName(bDouble); sa != sb {
+		return 0, fmt.Errorf("mediator: psi suites diverge between %s (%q) and %s (%q)",
+			b.Name(), sa, a.Name(), sb)
 	}
 	inA := map[string]bool{}
 	for _, e := range aDouble.ChildrenNamed("e") {

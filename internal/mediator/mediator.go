@@ -19,6 +19,7 @@ import (
 	"privateiye/internal/obs"
 	"privateiye/internal/parallel"
 	"privateiye/internal/piql"
+	"privateiye/internal/psi"
 	"privateiye/internal/qcache"
 	"privateiye/internal/refusal"
 	"privateiye/internal/replica"
@@ -63,6 +64,16 @@ type Config struct {
 	// misses the deadline is recorded in Denied with a timeout reason;
 	// the integrator returns whatever answered in time.
 	SourceTimeout time.Duration
+	// PSISuite is the preferred PSI group suite (default "p256", the
+	// fast elliptic-curve kernel). During every schema refresh the
+	// mediator collects each source's supported suites and negotiates:
+	// the preferred suite is used iff every answering source advertises
+	// it; otherwise the first universally supported suite in the first
+	// source's preference order; otherwise the fleet fails closed to
+	// "modp2048" — the safe-prime group every deployment predating
+	// negotiation runs — rather than letting sources diverge into
+	// incomparable groups. PSISuite() reports the outcome.
+	PSISuite string
 	// Resilience, when non-nil, wraps every endpoint in a
 	// resilience.Endpoint: policy-driven retry with backoff plus a
 	// per-source circuit breaker that skips known-dead sources instead
@@ -145,6 +156,7 @@ type Mediator struct {
 	schema          *xmltree.Summary            // mediated schema (merged partial summaries)
 	bySource        map[string]*xmltree.Summary // per-source shared summaries
 	vocab           []string                    // leaf vocabulary of the mediated schema
+	psiSuite        string                      // negotiated PSI suite (see RefreshSchemaContext)
 	wh              *warehouse.Warehouse
 	history         []HistoryEntry
 	historyReq      map[string]struct{} // requesters appearing in history (O(1) state checks)
@@ -198,6 +210,12 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	if cfg.LedgerTolerance == 0 {
 		cfg.LedgerTolerance = 0.5
+	}
+	if cfg.PSISuite == "" {
+		cfg.PSISuite = psi.DefaultSuiteName
+	}
+	if _, err := psi.SuiteByName(cfg.PSISuite); err != nil {
+		return nil, fmt.Errorf("mediator: %w", err)
 	}
 	if cfg.Resilience != nil {
 		// Wrap a copy: each endpoint gets its own circuit breaker, and
@@ -340,6 +358,7 @@ func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
 	type fetched struct {
 		sum      *xmltree.Summary
 		profiles []schemamatch.FieldProfile
+		suites   []string
 	}
 	results := make([]fetched, len(m.cfg.Endpoints))
 	var wg sync.WaitGroup
@@ -357,6 +376,15 @@ func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
 			if ps, err := ep.FetchProfiles(sctx); err == nil {
 				results[i].profiles = ps
 			}
+			// Suite capability ride-along: a source that answers its
+			// summary but not its suites is treated as a legacy MODP-2048
+			// node (the HTTP client already maps missing routes there;
+			// this covers transport errors too) — fail closed, not open.
+			if ss, err := ep.PSISuites(sctx); err == nil && len(ss) > 0 {
+				results[i].suites = ss
+			} else {
+				results[i].suites = []string{psi.SuiteNameModP2048}
+			}
 		}(i, ep)
 	}
 	wg.Wait()
@@ -365,6 +393,7 @@ func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
 	merged := xmltree.NewSummary()
 	bySource := map[string]*xmltree.Summary{}
 	profiles := map[string][]schemamatch.FieldProfile{}
+	var advertisements [][]string
 	okCount := 0
 	for i, ep := range m.cfg.Endpoints {
 		if results[i].sum == nil {
@@ -373,6 +402,7 @@ func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
 		bySource[ep.Name()] = results[i].sum
 		merged.Merge(results[i].sum)
 		okCount++
+		advertisements = append(advertisements, results[i].suites)
 		if results[i].profiles != nil {
 			profiles[ep.Name()] = results[i].profiles
 		}
@@ -380,12 +410,18 @@ func (m *Mediator) RefreshSchemaContext(ctx context.Context) error {
 	if okCount == 0 {
 		return fmt.Errorf("mediator: no source produced a summary")
 	}
+	suite := negotiateSuite(m.cfg.PSISuite, advertisements)
+	if m.cfg.Obs != nil {
+		m.cfg.Obs.Help("piye_mediator_psi_negotiations_total", "PSI suite negotiation outcomes at schema refresh, by suite.")
+		m.cfg.Obs.Counter("piye_mediator_psi_negotiations_total", "suite", suite).Inc()
+	}
 	correspondences := m.refreshCorrespondences(profiles)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.schema = merged
 	m.bySource = bySource
 	m.vocab = merged.LeafNames()
+	m.psiSuite = suite
 	m.correspondences = correspondences
 	// Materialized results may describe data whose source just changed or
 	// disappeared: a schema refresh empties the warehouse. The parse
@@ -413,6 +449,70 @@ func (m *Mediator) MediatedSchema() *xmltree.Summary {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.schema
+}
+
+// negotiateSuite picks the one PSI suite the whole fleet will run.
+// preferred wins iff every source advertises it; otherwise the first
+// suite in the first source's preference order that everyone supports;
+// otherwise the hard fail-closed floor, modp2048 — a suite nobody
+// advertised is still better than two sources running different groups
+// and comparing meaningless bytes.
+func negotiateSuite(preferred string, advertisements [][]string) string {
+	if len(advertisements) == 0 {
+		return preferred
+	}
+	everyone := func(name string) bool {
+		for _, adv := range advertisements {
+			found := false
+			for _, s := range adv {
+				if s == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if everyone(preferred) {
+		return preferred
+	}
+	for _, candidate := range advertisements[0] {
+		if everyone(candidate) {
+			return candidate
+		}
+	}
+	return psi.SuiteNameModP2048
+}
+
+// PSISuite reports the suite negotiated at the last schema refresh.
+func (m *Mediator) PSISuite() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.psiSuite
+}
+
+// Overlap is PrivateOverlap between two of this mediator's sources by
+// name, pinned to the suite negotiated at the last schema refresh — the
+// entry point callers should prefer, because it can never compare
+// elements across diverging groups.
+func (m *Mediator) Overlap(ctx context.Context, aName, bName, field string) (int, error) {
+	suite := m.PSISuite()
+	var a, b source.Endpoint
+	for _, ep := range m.cfg.Endpoints {
+		switch ep.Name() {
+		case aName:
+			a = ep
+		case bName:
+			b = ep
+		}
+	}
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("mediator: overlap needs two known sources (have %q, %q)", aName, bName)
+	}
+	return PrivateOverlap(ctx, a, b, field, suite)
 }
 
 // Integrated is the result of one integration round.

@@ -287,7 +287,7 @@ func TestPrivateOverlap(t *testing.T) {
 	}
 	a := mk("A", []string{"alice", "bob", "carol", "dave"})
 	b := mk("B", []string{"carol", "erin", "alice", "alice"}) // duplicate alice
-	n, err := PrivateOverlap(context.Background(), a, b, "name")
+	n, err := PrivateOverlap(context.Background(), a, b, "name", "")
 	if err != nil {
 		t.Fatal(err)
 	}

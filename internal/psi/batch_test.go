@@ -3,7 +3,6 @@ package psi
 import (
 	"crypto/rand"
 	"fmt"
-	"math/big"
 	"testing"
 )
 
@@ -11,162 +10,198 @@ import (
 // identical order, identical counter semantics, identical validation.
 
 func TestBlindBatchMatchesScalar(t *testing.T) {
-	g := TestGroup()
-	a, err := NewParty(g, rand.Reader)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewParty(g, rand.Reader)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Same secret required for comparison, so blind the same items with
-	// two parties and compare each against itself across entry points:
-	// party a uses the scalar path, then the batch path must be pure
-	// cache hits returning the identical elements.
-	items := make([]string, 100)
-	for i := range items {
-		items[i] = fmt.Sprintf("item-%03d", i)
-	}
-	scalar := a.Blind(items)
-	batch := a.BlindBatch(items)
-	for i := range items {
-		if scalar[i].Cmp(batch[i]) != 0 {
-			t.Fatalf("item %d: batch blind differs from scalar", i)
+	forEachSuite(t, func(t *testing.T, s Suite) {
+		a, err := NewParty(s, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	blinded, hits, _ := a.Stats()
-	if blinded != 200 {
-		t.Errorf("blinded = %d, want 200", blinded)
-	}
-	if hits != 100 {
-		t.Errorf("cache hits = %d, want 100 (the whole second pass)", hits)
-	}
+		b, err := NewParty(s, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same secret required for comparison, so blind the same items with
+		// two parties and compare each against itself across entry points:
+		// party a uses the scalar path, then the batch path must be pure
+		// cache hits returning the identical elements.
+		items := make([]string, 100)
+		for i := range items {
+			items[i] = fmt.Sprintf("item-%03d", i)
+		}
+		scalar := a.Blind(items)
+		batch := a.BlindBatch(items)
+		for i := range items {
+			if !s.Equal(scalar[i], batch[i]) {
+				t.Fatalf("item %d: batch blind differs from scalar", i)
+			}
+		}
+		blinded, hits, _ := a.Stats()
+		if blinded != 200 {
+			t.Errorf("blinded = %d, want 200", blinded)
+		}
+		if hits != 100 {
+			t.Errorf("cache hits = %d, want 100 (the whole second pass)", hits)
+		}
 
-	// Cold batch on a fresh party must agree with the protocol: both
-	// orders of double-blinding collide per item.
-	bBatch := b.BlindBatch(items)
-	ab, err := b.ExponentiateBatch(scalar)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ba, err := a.ExponentiateBatch(bBatch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range items {
-		if ab[i].Cmp(ba[i]) != 0 {
-			t.Fatalf("item %d: batched double-blinding does not commute", i)
+		// Cold batch on a fresh party must agree with the protocol: both
+		// orders of double-blinding collide per item.
+		bBatch := b.BlindBatch(items)
+		ab, err := b.ExponentiateBatch(scalar)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
+		ba, err := a.ExponentiateBatch(bBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range items {
+			if !s.Equal(ab[i], ba[i]) {
+				t.Fatalf("item %d: batched double-blinding does not commute", i)
+			}
+		}
+	})
 }
 
 func TestExponentiateBatchMatchesScalar(t *testing.T) {
-	g := TestGroup()
-	a, err := NewParty(g, rand.Reader)
-	if err != nil {
-		t.Fatal(err)
-	}
-	items := make([]string, 50)
-	for i := range items {
-		items[i] = fmt.Sprintf("elem-%02d", i)
-	}
-	elems := a.Blind(items)
-	scalar, err := a.Exponentiate(elems)
-	if err != nil {
-		t.Fatal(err)
-	}
-	batch, err := a.ExponentiateBatch(elems)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range elems {
-		if scalar[i].Cmp(batch[i]) != 0 {
-			t.Fatalf("element %d: batch exponentiation differs from scalar", i)
+	forEachSuite(t, func(t *testing.T, s Suite) {
+		a, err := NewParty(s, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
+		items := make([]string, 50)
+		for i := range items {
+			items[i] = fmt.Sprintf("elem-%02d", i)
+		}
+		elems := a.Blind(items)
+		scalar, err := a.Exponentiate(elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := a.ExponentiateBatch(elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range elems {
+			if !s.Equal(scalar[i], batch[i]) {
+				t.Fatalf("element %d: batch exponentiation differs from scalar", i)
+			}
+		}
+	})
 }
 
 func TestExponentiateBatchRejectsBadElements(t *testing.T) {
-	a, _ := NewParty(TestGroup(), rand.Reader)
-	good := a.Blind([]string{"x", "y"})
-	bad := append(append([]*big.Int{}, good...), nil)
-	if _, err := a.ExponentiateBatch(bad); err == nil {
-		t.Error("nil element must be rejected")
-	}
-	over := append([]*big.Int{}, good...)
-	over = append(over, a.group.P) // == p: out of range
-	_, err := a.ExponentiateBatch(over)
-	if err == nil {
-		t.Error("out-of-range element must be rejected")
-	}
+	forEachSuite(t, func(t *testing.T, s Suite) {
+		a, _ := NewParty(s, rand.Reader)
+		good := a.Blind([]string{"x", "y"})
+		bad := append(append([]Element{}, good...), nil)
+		if _, err := a.ExponentiateBatch(bad); err == nil {
+			t.Error("nil element must be rejected")
+		}
+		for name, be := range badElements(t, s) {
+			withBad := append(append([]Element{}, good...), be)
+			if _, err := a.ExponentiateBatch(withBad); err == nil {
+				t.Errorf("%s element must be rejected", name)
+			}
+		}
+	})
 }
 
 func TestBlindBatchEmptyAndSerial(t *testing.T) {
-	a, _ := NewParty(TestGroup(), rand.Reader)
-	if got := a.BlindBatch(nil); len(got) != 0 {
-		t.Errorf("empty batch returned %d elements", len(got))
-	}
-	a.SetWorkers(1)
-	out := a.BlindBatch([]string{"only"})
-	if len(out) != 1 || out[0] == nil {
-		t.Errorf("serial single-item batch = %v", out)
-	}
+	forEachSuite(t, func(t *testing.T, s Suite) {
+		a, _ := NewParty(s, rand.Reader)
+		if got := a.BlindBatch(nil); len(got) != 0 {
+			t.Errorf("empty batch returned %d elements", len(got))
+		}
+		a.SetWorkers(1)
+		out := a.BlindBatch([]string{"only"})
+		if len(out) != 1 || out[0] == nil {
+			t.Errorf("serial single-item batch = %v", out)
+		}
+	})
 }
 
 // BenchmarkBlind compares per-item dispatch against chunked batching on
-// a warm cache, where dispatch and lock overhead — not modexp — is the
-// cost being amortized (the E23 PSI leg).
+// a warm cache, where dispatch and lock overhead — not the group op —
+// is the cost being amortized (the E23 PSI leg).
 func BenchmarkBlind(b *testing.B) {
-	a, err := NewParty(TestGroup(), rand.Reader)
-	if err != nil {
-		b.Fatal(err)
-	}
-	items := make([]string, 4096)
-	for i := range items {
-		items[i] = fmt.Sprintf("item-%04d", i)
-	}
-	a.Blind(items) // warm the precomputation table
-	b.Run("scalar", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			a.Blind(items)
+	for _, s := range []Suite{ModPSuite(TestGroup()), P256Suite()} {
+		a, err := NewParty(s, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
 		}
-	})
-	b.Run("batch", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			a.BlindBatch(items)
+		items := make([]string, 4096)
+		for i := range items {
+			items[i] = fmt.Sprintf("item-%04d", i)
 		}
-	})
-}
-
-// BenchmarkExponentiateBatch measures the cold path: every element is a
-// fresh modexp, so this reports elements/s for the chunked kernel.
-func BenchmarkExponentiateBatch(b *testing.B) {
-	a, err := NewParty(TestGroup(), rand.Reader)
-	if err != nil {
-		b.Fatal(err)
-	}
-	items := make([]string, 512)
-	for i := range items {
-		items[i] = fmt.Sprintf("item-%04d", i)
-	}
-	elems := a.Blind(items)
-	for _, entry := range []string{"scalar", "batch"} {
-		b.Run(entry, func(b *testing.B) {
+		a.Blind(items) // warm the precomputation table
+		b.Run(s.Name()+"/scalar", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				var err error
-				if entry == "scalar" {
-					_, err = a.Exponentiate(elems)
-				} else {
-					_, err = a.ExponentiateBatch(elems)
-				}
+				a.Blind(items)
+			}
+		})
+		b.Run(s.Name()+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.BlindBatch(items)
+			}
+		})
+	}
+}
+
+// BenchmarkBlindCold measures the cold path per suite — every item is a
+// fresh hash-to-group plus a fixed-secret group operation. This is the
+// kernel the EC suite exists to accelerate (E25's headline number).
+func BenchmarkBlindCold(b *testing.B) {
+	for _, s := range []Suite{ModPSuite(TestGroup()), ModPSuite(DefaultGroup()), P256Suite()} {
+		b.Run(s.Name(), func(b *testing.B) {
+			items := make([]string, 256)
+			for i := range items {
+				items[i] = fmt.Sprintf("cold-%04d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a, err := NewParty(s, rand.Reader)
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.StartTimer()
+				a.BlindBatch(items)
 			}
 		})
+	}
+}
+
+// BenchmarkExponentiateBatch measures the cold path: every element is a
+// fresh group operation, so this reports elements/s for the chunked
+// kernel.
+func BenchmarkExponentiateBatch(b *testing.B) {
+	for _, s := range []Suite{ModPSuite(TestGroup()), P256Suite()} {
+		a, err := NewParty(s, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items := make([]string, 512)
+		for i := range items {
+			items[i] = fmt.Sprintf("item-%04d", i)
+		}
+		elems := a.Blind(items)
+		for _, entry := range []string{"scalar", "batch"} {
+			b.Run(s.Name()+"/"+entry, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if entry == "scalar" {
+						_, err = a.Exponentiate(elems)
+					} else {
+						_, err = a.ExponentiateBatch(elems)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

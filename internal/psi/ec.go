@@ -1,0 +1,153 @@
+package psi
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// ECPoint is an elliptic-curve suite element: an affine point on the
+// suite's curve. The point at infinity is never a valid element.
+type ECPoint struct {
+	X, Y *big.Int
+}
+
+func (*ECPoint) psiElement() {}
+
+type ecSecret struct {
+	k []byte // fixed-width big-endian scalar in [1, n-1]
+}
+
+func (*ecSecret) psiSecret() {}
+
+// p256Suite implements Suite over NIST P-256 using only the stdlib
+// crypto/elliptic backend (constant-time nistec arithmetic underneath).
+// Cofactor is 1, so every on-curve point other than infinity is in the
+// prime-order group — on-curve checking IS subgroup validation.
+type p256Suite struct {
+	curve elliptic.Curve
+}
+
+var p256Singleton = &p256Suite{curve: elliptic.P256()}
+
+// P256Suite returns the NIST P-256 elliptic-curve suite: 256-bit scalar
+// mults instead of 2048-bit modexps, and 33-byte compressed points
+// instead of 256-byte residues on the wire. This is the production
+// default when the whole fleet supports it.
+func P256Suite() Suite { return p256Singleton }
+
+const (
+	p256ElemSize   = 33 // SEC1 compressed point: sign byte + 32-byte x
+	p256ScalarSize = 32
+)
+
+func (s *p256Suite) Name() string     { return SuiteNameP256 }
+func (s *p256Suite) ElementSize() int { return p256ElemSize }
+
+func (s *p256Suite) NewSecret(rng io.Reader) (Secret, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	max := new(big.Int).Sub(s.curve.Params().N, big.NewInt(1)) // [0, n-2]
+	v, err := rand.Int(rng, max)
+	if err != nil {
+		return nil, fmt.Errorf("psi: drawing secret: %w", err)
+	}
+	v.Add(v, big.NewInt(1)) // [1, n-1]
+	k := make([]byte, p256ScalarSize)
+	v.FillBytes(k)
+	return &ecSecret{k: k}, nil
+}
+
+// HashToGroup maps an item to a curve point by try-and-increment:
+// SHA-256(counter || item) is treated as a candidate x-coordinate
+// (compressed encoding with an even-y sign byte) and the counter bumps
+// until decompression succeeds — about two attempts on average, since
+// roughly half of all field values are x-coordinates of curve points.
+//
+// The attempt count depends on the item, so hashing is NOT
+// constant-time across items (see DESIGN.md §14 for why that is
+// acceptable here: the set being hashed is the caller's own input, and
+// the secret scalar never influences the loop).
+func (s *p256Suite) HashToGroup(sc *Scratch, item string) Element {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	if cap(sc.buf) < p256ElemSize {
+		sc.buf = make([]byte, 0, p256ElemSize)
+	}
+	cand := sc.buf[:1]
+	var cb [4]byte
+	for ctr := uint32(0); ; ctr++ {
+		sc.h.Reset()
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		sc.h.Write(cb[:])
+		io.WriteString(sc.h, item)
+		// Sum appends the 32-byte digest after the sign byte, filling
+		// cand's backing array to exactly the compressed-point width.
+		full := sc.h.Sum(cand)
+		full[0] = 2 // "even y" sign byte; the digest is the x candidate
+		if x, y := elliptic.UnmarshalCompressed(s.curve, full[:p256ElemSize]); x != nil {
+			sc.buf = full[:0]
+			return &ECPoint{X: x, Y: y}
+		}
+	}
+}
+
+func (s *p256Suite) Exp(e Element, sec Secret) Element {
+	p := e.(*ECPoint)
+	k := sec.(*ecSecret)
+	x, y := s.curve.ScalarMult(p.X, p.Y, k.k)
+	return &ECPoint{X: x, Y: y}
+}
+
+func (s *p256Suite) AppendElement(dst []byte, e Element) []byte {
+	p := e.(*ECPoint)
+	n := len(dst)
+	dst = growSlice(dst, p256ElemSize)
+	dst[n] = byte(2 + p.Y.Bit(0)) // 0x02 even y, 0x03 odd y
+	p.X.FillBytes(dst[n+1 : n+p256ElemSize])
+	return dst
+}
+
+func (s *p256Suite) DecodeElement(data []byte) (Element, error) {
+	if len(data) != p256ElemSize {
+		return nil, fmt.Errorf("psi: p256 element is %d bytes, want %d", len(data), p256ElemSize)
+	}
+	if data[0] != 2 && data[0] != 3 {
+		return nil, fmt.Errorf("psi: p256 element has invalid sign byte %#x", data[0])
+	}
+	// UnmarshalCompressed rejects x >= p and any x with no curve point
+	// (off-curve by construction), returning nil — it never panics.
+	x, y := elliptic.UnmarshalCompressed(s.curve, data)
+	if x == nil {
+		return nil, errors.New("psi: p256 element is not a curve point")
+	}
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return nil, errors.New("psi: p256 element is the identity")
+	}
+	return &ECPoint{X: x, Y: y}, nil
+}
+
+func (s *p256Suite) Validate(e Element) error {
+	p, ok := e.(*ECPoint)
+	if !ok || p == nil || p.X == nil || p.Y == nil {
+		return errors.New("psi: not a p256 element")
+	}
+	if p.X.Sign() == 0 && p.Y.Sign() == 0 {
+		return errors.New("psi: p256 element is the identity")
+	}
+	if !s.curve.IsOnCurve(p.X, p.Y) {
+		return errors.New("psi: p256 element is not a curve point")
+	}
+	return nil
+}
+
+func (s *p256Suite) Equal(a, b Element) bool {
+	pa, pb := a.(*ECPoint), b.(*ECPoint)
+	return pa.X.Cmp(pb.X) == 0 && pa.Y.Cmp(pb.Y) == 0
+}

@@ -6,118 +6,53 @@
 // revealing the origins of the sources or the real world origins of the
 // entities" (Section 5).
 //
-// Construction: items hash into the prime-order subgroup of quadratic
-// residues mod a safe prime p = 2q+1. Each party holds a random exponent;
-// because exponentiation commutes, H(x)^(ab) = H(x)^(ba), so after both
-// parties have exponentiated both sets, equal items collide and nothing
-// else does (computing H(y)^a from H(x)^a for x != y is a DH problem).
-// The initiator learns which of its items the responder also holds; the
-// responder learns only the initiator's set size.
+// Construction: items hash into a prime-order group. Each party holds a
+// random secret scalar; because applying the secret commutes,
+// H(x)^(ab) = H(x)^(ba), so after both parties have operated on both
+// sets, equal items collide and nothing else does (computing H(y)^a from
+// H(x)^a for x != y is a DH problem). The initiator learns which of its
+// items the responder also holds; the responder learns only the
+// initiator's set size.
 //
-// Everything is stdlib: crypto/rand, crypto/sha256, math/big.
+// The group is pluggable via Suite: the original safe-prime MODP groups
+// (quadratic residues mod RFC 3526 primes, 2048-bit modexps) and a NIST
+// P-256 elliptic-curve suite (256-bit scalar mults, 33-byte elements),
+// which is the fast default.
+//
+// Everything is stdlib: crypto/rand, crypto/sha256, crypto/elliptic,
+// math/big.
 package psi
 
 import (
 	"context"
-	"crypto/rand"
-	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"math/big"
 	"sync"
 	"sync/atomic"
 
 	"privateiye/internal/parallel"
 )
 
-// Group is a safe-prime group: p = 2q+1 with q prime. Protocol elements
-// live in the order-q subgroup of quadratic residues.
-type Group struct {
-	P *big.Int // safe prime modulus
-	Q *big.Int // (P-1)/2
-}
-
-// newGroup builds a group from a hex modulus, computing q.
-func newGroup(hexP string) *Group {
-	p, ok := new(big.Int).SetString(hexP, 16)
-	if !ok {
-		panic("psi: bad group constant")
-	}
-	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
-	return &Group{P: p, Q: q}
-}
-
-// DefaultGroup returns the 2048-bit MODP group of RFC 3526 (group 14), a
-// safe prime. Use this in deployments.
-func DefaultGroup() *Group {
-	return newGroup(
-		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
-			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
-			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
-			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05" +
-			"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB" +
-			"9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
-			"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718" +
-			"3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF")
-}
-
-// TestGroup returns the 768-bit Oakley group 1 (RFC 2409), also a safe
-// prime. It is NOT adequate for production secrecy; it exists so tests and
-// benchmarks run quickly while exercising identical code paths.
-func TestGroup() *Group {
-	return newGroup(
-		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
-			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
-			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF")
-}
-
-// HashToGroup maps an arbitrary item into the quadratic-residue subgroup:
-// expand SHA-256(item) in counter mode to the modulus width, reduce mod p,
-// then square. Squaring lands in QR(p), the order-q subgroup.
-func (g *Group) HashToGroup(item string) *big.Int {
-	byteLen := (g.P.BitLen() + 7) / 8
-	buf := make([]byte, 0, byteLen+sha256.Size)
-	var ctr uint32
-	for len(buf) < byteLen {
-		h := sha256.New()
-		var cb [4]byte
-		binary.BigEndian.PutUint32(cb[:], ctr)
-		h.Write(cb[:])
-		io.WriteString(h, item)
-		buf = h.Sum(buf)
-		ctr++
-	}
-	v := new(big.Int).SetBytes(buf[:byteLen])
-	v.Mod(v, g.P)
-	v.Mul(v, v)
-	v.Mod(v, g.P)
-	// Zero is the only non-invertible outcome and requires SHA-256 output
-	// ≡ 0 mod p; map it to 4 (= 2^2, a QR) for totality.
-	if v.Sign() == 0 {
-		return big.NewInt(4)
-	}
-	return v
-}
-
-// byteLen is the fixed encoding width of a group element.
-func (g *Group) byteLen() int { return (g.P.BitLen() + 7) / 8 }
-
 // blindCacheCap bounds the per-party precomputation table. A source's
 // linkage field rarely exceeds this; past it, extra items are simply
 // recomputed rather than growing the table without bound.
 const blindCacheCap = 1 << 16
 
-// Party is one protocol participant holding a secret exponent.
+// scratchPool recycles hash-to-group scratch buffers across scalar
+// kernel calls; batch kernels hold one scratch per chunk instead.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// Party is one protocol participant holding a secret scalar for its
+// suite.
 //
-// Every per-item operation (one modular exponentiation each) fans out
+// Every per-item operation (one group exponentiation each) fans out
 // over the shared worker pool; SetWorkers tunes the width (0 =
 // GOMAXPROCS, 1 = serial). Output order is always the input order, so
 // the protocol transcript is byte-identical at any width.
 type Party struct {
-	group   *Group
-	secret  *big.Int
+	suite   Suite
+	secret  Secret
 	workers int
 
 	// Protocol counters (see Stats): items blinded, blinds served from
@@ -128,36 +63,31 @@ type Party struct {
 	expItems   atomic.Uint64
 
 	// blinds is the fixed-secret precomputation table: because the
-	// party's exponent never changes, H(item)^secret is a pure function
+	// party's scalar never changes, H(item)^secret is a pure function
 	// of the item, so repeated protocol rounds (the mediator re-linking
 	// the same field against several peers, or periodic re-integration)
-	// reuse earlier modexps instead of redoing them. Only the party's
-	// own items are cached — peer-supplied elements change every round
-	// (they carry the peer's fresh blinding) and would never hit.
+	// reuse earlier group operations instead of redoing them. Only the
+	// party's own items are cached — peer-supplied elements change every
+	// round (they carry the peer's fresh blinding) and would never hit.
 	mu     sync.RWMutex
-	blinds map[string]*big.Int
+	blinds map[string]Element
 }
 
-// NewParty draws a fresh secret exponent in [1, q-1] from rng
+// NewParty draws a fresh secret scalar for the suite from rng
 // (crypto/rand.Reader in production; any reader in tests).
-func NewParty(g *Group, rng io.Reader) (*Party, error) {
-	if g == nil {
-		return nil, errors.New("psi: nil group")
+func NewParty(s Suite, rng io.Reader) (*Party, error) {
+	if s == nil {
+		return nil, errors.New("psi: nil suite")
 	}
-	if rng == nil {
-		rng = rand.Reader
-	}
-	max := new(big.Int).Sub(g.Q, big.NewInt(1)) // [0, q-2]
-	s, err := rand.Int(rng, max)
+	sec, err := s.NewSecret(rng)
 	if err != nil {
-		return nil, fmt.Errorf("psi: drawing secret: %w", err)
+		return nil, err
 	}
-	s.Add(s, big.NewInt(1)) // [1, q-1]
-	return &Party{group: g, secret: s, blinds: map[string]*big.Int{}}, nil
+	return &Party{suite: s, secret: sec, blinds: map[string]Element{}}, nil
 }
 
-// Group returns the party's group.
-func (p *Party) Group() *Group { return p.group }
+// Suite returns the party's group suite.
+func (p *Party) Suite() Suite { return p.suite }
 
 // SetWorkers fixes the fan-out width for this party's kernels: 0 (the
 // default) means GOMAXPROCS, 1 forces the serial path. It returns the
@@ -169,7 +99,7 @@ func (p *Party) SetWorkers(n int) *Party {
 }
 
 // cachedBlind returns the precomputed blind for an item, if present.
-func (p *Party) cachedBlind(item string) (*big.Int, bool) {
+func (p *Party) cachedBlind(item string) (Element, bool) {
 	p.mu.RLock()
 	v, ok := p.blinds[item]
 	p.mu.RUnlock()
@@ -177,7 +107,7 @@ func (p *Party) cachedBlind(item string) (*big.Int, bool) {
 }
 
 // storeBlinds installs freshly computed blinds, respecting the cap.
-func (p *Party) storeBlinds(items []string, vals []*big.Int) {
+func (p *Party) storeBlinds(items []string, vals []Element) {
 	p.mu.Lock()
 	for i, it := range items {
 		if vals[i] == nil {
@@ -191,15 +121,15 @@ func (p *Party) storeBlinds(items []string, vals []*big.Int) {
 	p.mu.Unlock()
 }
 
-// Blind hashes each item into the group and raises it to the party's
+// Blind hashes each item into the group and applies the party's
 // secret: the first message of the protocol. Items fan out across the
-// worker pool (one modexp each), and results are memoized in the
-// party's precomputation table — the exponent is fixed for the party's
-// lifetime, so a warm round is pure lookups. Output order matches the
-// input order regardless of worker count.
-func (p *Party) Blind(items []string) []*big.Int {
-	out := make([]*big.Int, len(items))
-	fresh := make([]*big.Int, len(items)) // only newly computed entries
+// worker pool (one group exponentiation each), and results are memoized
+// in the party's precomputation table — the scalar is fixed for the
+// party's lifetime, so a warm round is pure lookups. Output order
+// matches the input order regardless of worker count.
+func (p *Party) Blind(items []string) []Element {
+	out := make([]Element, len(items))
+	fresh := make([]Element, len(items)) // only newly computed entries
 	p.blindItems.Add(uint64(len(items)))
 	// parallel.ForEach with an always-nil error never fails.
 	_ = parallel.ForEach(context.Background(), len(items), p.workers, func(i int) error {
@@ -208,7 +138,9 @@ func (p *Party) Blind(items []string) []*big.Int {
 			p.blindHits.Add(1)
 			return nil
 		}
-		v := new(big.Int).Exp(p.group.HashToGroup(items[i]), p.secret, p.group.P)
+		sc := scratchPool.Get().(*Scratch)
+		v := p.suite.Exp(p.suite.HashToGroup(sc, items[i]), p.secret)
+		scratchPool.Put(sc)
 		out[i], fresh[i] = v, v
 		return nil
 	})
@@ -218,18 +150,19 @@ func (p *Party) Blind(items []string) []*big.Int {
 
 // BlindBatch is Blind for whole columns: identical output (order, cache
 // use, counters), but the fan-out is one pool task per contiguous chunk
-// of items rather than per item, and the precomputation table is read
-// under one RLock per chunk instead of one per item. Sources feed a
-// field's full value column through here; the per-item entry point
-// remains the scalar baseline experiments compare against.
-func (p *Party) BlindBatch(items []string) []*big.Int {
+// of items rather than per item, the precomputation table is read
+// under one RLock per chunk instead of one per item, and each chunk
+// reuses a single hash-to-group scratch buffer. Sources feed a field's
+// full value column through here; the per-item entry point remains the
+// scalar baseline experiments compare against.
+func (p *Party) BlindBatch(items []string) []Element {
 	n := len(items)
-	out := make([]*big.Int, n)
+	out := make([]Element, n)
 	if n == 0 {
 		return out
 	}
 	p.blindItems.Add(uint64(n))
-	fresh := make([]*big.Int, n) // only newly computed entries
+	fresh := make([]Element, n) // only newly computed entries
 	_ = parallel.ForEachChunk(context.Background(), n, p.workers, 0, func(lo, hi int) error {
 		// One table read for the whole chunk: the run of lookups shares a
 		// single RLock acquisition.
@@ -245,53 +178,61 @@ func (p *Party) BlindBatch(items []string) []*big.Int {
 		if hits > 0 {
 			p.blindHits.Add(uint64(hits))
 		}
+		sc := scratchPool.Get().(*Scratch)
 		for i := lo; i < hi; i++ {
 			if out[i] != nil {
 				continue
 			}
-			v := new(big.Int).Exp(p.group.HashToGroup(items[i]), p.secret, p.group.P)
+			v := p.suite.Exp(p.suite.HashToGroup(sc, items[i]), p.secret)
 			out[i], fresh[i] = v, v
 		}
+		scratchPool.Put(sc)
 		return nil
 	})
 	p.storeBlinds(items, fresh)
 	return out
 }
 
-// Exponentiate raises already-blinded elements (received from the peer)
-// to this party's secret, preserving order: the second message. Peer
+// Exponentiate applies this party's secret to already-blinded elements
+// (received from the peer), preserving order: the second message. Peer
 // elements are validated and then exponentiated across the worker pool;
 // they are never cached (each round's peer blinding is fresh).
-func (p *Party) Exponentiate(elems []*big.Int) ([]*big.Int, error) {
-	// Validate serially first: range errors must be deterministic and
-	// reported for the lowest offending index, not whichever worker
+func (p *Party) Exponentiate(elems []Element) ([]Element, error) {
+	// Validate serially first: membership errors must be deterministic
+	// and reported for the lowest offending index, not whichever worker
 	// happened to reach its element first.
 	for i, e := range elems {
-		if e == nil || e.Sign() <= 0 || e.Cmp(p.group.P) >= 0 {
-			return nil, fmt.Errorf("psi: element %d out of group range", i)
+		if e == nil {
+			return nil, fmt.Errorf("psi: element %d is nil", i)
+		}
+		if err := p.suite.Validate(e); err != nil {
+			return nil, fmt.Errorf("psi: element %d: %w", i, err)
 		}
 	}
 	p.expItems.Add(uint64(len(elems)))
-	return parallel.Map(context.Background(), len(elems), p.workers, func(i int) (*big.Int, error) {
-		return new(big.Int).Exp(elems[i], p.secret, p.group.P), nil
+	return parallel.Map(context.Background(), len(elems), p.workers, func(i int) (Element, error) {
+		return p.suite.Exp(elems[i], p.secret), nil
 	})
 }
 
 // ExponentiateBatch is Exponentiate with chunked fan-out: one pool task
 // per contiguous run of elements. Validation, ordering and counters are
 // identical to the scalar entry point.
-func (p *Party) ExponentiateBatch(elems []*big.Int) ([]*big.Int, error) {
+func (p *Party) ExponentiateBatch(elems []Element) ([]Element, error) {
 	for i, e := range elems {
-		if e == nil || e.Sign() <= 0 || e.Cmp(p.group.P) >= 0 {
-			return nil, fmt.Errorf("psi: element %d out of group range", i)
+		if e == nil {
+			return nil, fmt.Errorf("psi: element %d is nil", i)
+		}
+		if err := p.suite.Validate(e); err != nil {
+			return nil, fmt.Errorf("psi: element %d: %w", i, err)
 		}
 	}
 	n := len(elems)
 	p.expItems.Add(uint64(n))
-	out := make([]*big.Int, n)
+	out := make([]Element, n)
 	_ = parallel.ForEachChunk(context.Background(), n, p.workers, 0, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			out[i] = new(big.Int).Exp(elems[i], p.secret, p.group.P)
+			out[i] = p.suite.Exp(elems[i], p.secret)
 		}
 		return nil
 	})
@@ -308,16 +249,17 @@ func (p *Party) Stats() (blinded, blindCacheHits, exponentiated uint64) {
 
 // Intersect runs the full semi-honest protocol in-process between an
 // initiator holding itemsA and a responder holding itemsB, both already
-// holding secrets. It returns the indices into itemsA of items the
-// responder also holds. The message flow is exactly what the network
-// transport ships:
+// holding secrets in the same suite. It returns the indices into itemsA
+// of items the responder also holds. The message flow is exactly what
+// the network transport ships:
 //
 //	A -> B: Blind(A's items)
 //	B -> A: Exponentiate(that), and Blind(B's items)
 //	A:      Exponentiate(B's blinds), compare double-blinded sets
 func Intersect(initiator, responder *Party, itemsA, itemsB []string) ([]int, error) {
-	if initiator.group.P.Cmp(responder.group.P) != 0 {
-		return nil, errors.New("psi: parties use different groups")
+	if initiator.suite.Name() != responder.suite.Name() {
+		return nil, fmt.Errorf("psi: parties use different suites (%s vs %s)",
+			initiator.suite.Name(), responder.suite.Name())
 	}
 	aBlind := initiator.Blind(itemsA)
 	abDouble, err := responder.Exponentiate(aBlind)
@@ -329,19 +271,20 @@ func Intersect(initiator, responder *Party, itemsA, itemsB []string) ([]int, err
 	if err != nil {
 		return nil, err
 	}
-	// Key on the fixed-width big-endian encoding: FillBytes into one
-	// reused buffer avoids a per-element allocation-and-strip of
-	// variable-width Bytes() (and is width-uniform, so map hashing never
-	// compares unequal-length keys).
-	w := initiator.group.byteLen()
-	buf := make([]byte, w)
+	// Key on the fixed-width canonical encoding, appended into one
+	// reused buffer: width-uniform keys, no per-element allocation
+	// beyond the map entries themselves.
+	s := initiator.suite
+	buf := make([]byte, 0, s.ElementSize())
 	inB := make(map[string]struct{}, len(baDouble))
 	for _, e := range baDouble {
-		inB[string(e.FillBytes(buf))] = struct{}{}
+		buf = s.AppendElement(buf[:0], e)
+		inB[string(buf)] = struct{}{}
 	}
 	out := make([]int, 0, min(len(abDouble), len(inB)))
 	for i, e := range abDouble {
-		if _, ok := inB[string(e.FillBytes(buf))]; ok {
+		buf = s.AppendElement(buf[:0], e)
+		if _, ok := inB[string(buf)]; ok {
 			out = append(out, i)
 		}
 	}

@@ -1,0 +1,167 @@
+package psi
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"privateiye/internal/xmltree"
+)
+
+// The scratch-buffer path exists to cut allocations out of the
+// hash-to-group hot loop; pin that it actually does, per suite.
+func TestScratchReducesAllocations(t *testing.T) {
+	for _, s := range testSuites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			sc := NewScratch()
+			s.HashToGroup(sc, "warmup") // size the buffers once
+			i := 0
+			withScratch := testing.AllocsPerRun(200, func() {
+				s.HashToGroup(sc, fmt.Sprintf("item-%d", i))
+				i++
+			})
+			without := testing.AllocsPerRun(200, func() {
+				s.HashToGroup(nil, fmt.Sprintf("item-%d", i))
+				i++
+			})
+			if withScratch >= without {
+				t.Errorf("scratch path allocates %.1f/op, no-scratch %.1f/op — scratch must be cheaper",
+					withScratch, without)
+			}
+		})
+	}
+}
+
+// Canonical encode must also be allocation-free once the caller's
+// buffer has warmed up.
+func TestAppendElementReusesBuffer(t *testing.T) {
+	for _, s := range testSuites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			e := s.HashToGroup(nil, "x")
+			buf := make([]byte, 0, s.ElementSize())
+			allocs := testing.AllocsPerRun(100, func() {
+				buf = s.AppendElement(buf[:0], e)
+			})
+			if allocs != 0 {
+				t.Errorf("AppendElement into warm buffer allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+func BenchmarkHashToGroup(b *testing.B) {
+	for _, s := range []Suite{ModPSuite(TestGroup()), P256Suite()} {
+		items := make([]string, 1024)
+		for i := range items {
+			items[i] = fmt.Sprintf("item-%04d", i)
+		}
+		b.Run(s.Name()+"/scratch", func(b *testing.B) {
+			sc := NewScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.HashToGroup(sc, items[i%len(items)])
+			}
+		})
+		b.Run(s.Name()+"/noscratch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.HashToGroup(nil, items[i%len(items)])
+			}
+		})
+	}
+}
+
+// FuzzUnmarshalElems pins that envelope decoding never panics on
+// arbitrary XML, for either suite, and that accepted input is exactly
+// canonical: re-encoding the decoded elements reproduces the input
+// element texts byte for byte.
+func FuzzUnmarshalElems(f *testing.F) {
+	ms := ModPSuite(TestGroup())
+	a, err := NewParty(ms, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(MarshalElems(ms, a.Blind([]string{"x", "y"})).String())
+	ec := P256Suite()
+	c, err := NewParty(ec, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(MarshalElems(ec, c.Blind([]string{"x"})).String())
+	f.Add(`<psi-elems n="1" suite="p256"><e>02ab</e></psi-elems>`)
+	f.Add(`<psi-elems n="0"></psi-elems>`)
+	f.Add(`<other/>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		node, err := xmltree.ParseString(doc)
+		if err != nil {
+			return
+		}
+		for _, s := range []Suite{ModPSuite(TestGroup()), P256Suite()} {
+			elems, err := UnmarshalElems(node, s)
+			if err != nil {
+				continue
+			}
+			// Accepted: the canonical re-encoding must equal the input.
+			re := MarshalElems(s, elems)
+			in := node.ChildrenNamed("e")
+			out := re.ChildrenNamed("e")
+			if len(in) != len(out) {
+				t.Fatalf("%s: accepted %d elems, re-encoded %d", s.Name(), len(in), len(out))
+			}
+			for i := range in {
+				if in[i].Text != out[i].Text {
+					t.Fatalf("%s: element %d accepted non-canonical form %q (canonical %q)",
+						s.Name(), i, in[i].Text, out[i].Text)
+				}
+			}
+		}
+	})
+}
+
+// FuzzP256DecodeElement pins that raw compressed-point decoding never
+// panics and only accepts points whose canonical encoding is the input
+// itself.
+func FuzzP256DecodeElement(f *testing.F) {
+	s := P256Suite()
+	e := s.HashToGroup(nil, "seed")
+	f.Add(s.AppendElement(nil, e))
+	f.Add([]byte{2})
+	f.Add(bytes.Repeat([]byte{0xff}, 33))
+	f.Add(make([]byte, 33))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := s.DecodeElement(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(e); verr != nil {
+			t.Fatalf("decoded element fails Validate: %v", verr)
+		}
+		if enc := s.AppendElement(nil, e); !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical encoding %x (canonical %x)", data, enc)
+		}
+	})
+}
+
+// FuzzModPDecodeElement is the MODP counterpart: decode never panics,
+// accepted residues are valid subgroup members, and the encoding is
+// canonical.
+func FuzzModPDecodeElement(f *testing.F) {
+	s := ModPSuite(TestGroup())
+	e := s.HashToGroup(nil, "seed")
+	f.Add(s.AppendElement(nil, e))
+	f.Add(make([]byte, 96))
+	f.Add([]byte{4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := s.DecodeElement(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(e); verr != nil {
+			t.Fatalf("decoded element fails Validate: %v", verr)
+		}
+		if enc := s.AppendElement(nil, e); !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical encoding %x (canonical %x)", data, enc)
+		}
+	})
+}

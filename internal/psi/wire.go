@@ -1,8 +1,8 @@
 package psi
 
 import (
+	"encoding/hex"
 	"fmt"
-	"math/big"
 
 	"privateiye/internal/xmltree"
 )
@@ -10,36 +10,83 @@ import (
 // Wire encoding: protocol messages travel between sources through the
 // mediator as XML, like everything else in PRIVATE-IYE.
 //
-//	<psi-elems n="3">
-//	  <e>ab34…</e>
+//	<psi-elems n="3" suite="p256">
+//	  <e>02ab34…</e>
 //	  …
 //	</psi-elems>
+//
+// Each <e> is the suite's canonical fixed-width encoding in lowercase
+// hex — exactly 2*ElementSize() characters, one encoding per element.
+// The decoder rejects anything else (wrong width, uppercase, stray
+// characters, non-members), so an element has exactly one wire form and
+// transcript comparison is byte comparison.
+//
+// The suite attribute names the group the elements live in. Envelopes
+// written before suites existed carry no attribute; decoders treat that
+// as the legacy MODP group they were configured with.
 
-// MarshalElems encodes blinded group elements.
-func MarshalElems(elems []*big.Int) *xmltree.Node {
-	root := xmltree.NewElem("psi-elems").SetAttr("n", fmt.Sprint(len(elems)))
+// MarshalElems encodes blinded group elements of one suite.
+func MarshalElems(s Suite, elems []Element) *xmltree.Node {
+	root := xmltree.NewElem("psi-elems").
+		SetAttr("n", fmt.Sprint(len(elems))).
+		SetAttr("suite", s.Name())
+	buf := make([]byte, 0, s.ElementSize())
 	for _, e := range elems {
-		root.Append(xmltree.NewText("e", e.Text(16)))
+		buf = s.AppendElement(buf[:0], e)
+		root.Append(xmltree.NewText("e", hex.EncodeToString(buf)))
 	}
 	return root
 }
 
-// UnmarshalElems decodes MarshalElems output, validating range against the
-// group.
-func UnmarshalElems(n *xmltree.Node, g *Group) ([]*big.Int, error) {
+// WireSuiteName reports the suite attribute of a psi-elems envelope, or
+// "" when absent (a legacy MODP peer).
+func WireSuiteName(n *xmltree.Node) string {
+	name, _ := n.Attr("suite")
+	return name
+}
+
+// UnmarshalElems decodes MarshalElems output against the expected suite,
+// enforcing canonical form: the envelope's suite attribute (when
+// present) must match, and every element must be exactly the suite's
+// fixed width in lowercase hex and decode to a valid group member.
+// Non-canonical encodings — overlong, leading-zero-padded beyond the
+// fixed width, uppercase hex — are rejected, so one element has one
+// wire form.
+func UnmarshalElems(n *xmltree.Node, s Suite) ([]Element, error) {
 	if n.Name != "psi-elems" {
 		return nil, fmt.Errorf("psi: expected <psi-elems>, got <%s>", n.Name)
 	}
-	var out []*big.Int
+	if ws, ok := n.Attr("suite"); ok && ws != s.Name() {
+		return nil, fmt.Errorf("psi: envelope suite %q does not match expected %q", ws, s.Name())
+	}
+	var out []Element
+	buf := make([]byte, s.ElementSize())
 	for i, c := range n.ChildrenNamed("e") {
-		v, ok := new(big.Int).SetString(c.Text, 16)
-		if !ok {
-			return nil, fmt.Errorf("psi: element %d is not hex", i)
+		if err := decodeCanonicalHex(buf, c.Text); err != nil {
+			return nil, fmt.Errorf("psi: element %d: %w", i, err)
 		}
-		if v.Sign() <= 0 || v.Cmp(g.P) >= 0 {
-			return nil, fmt.Errorf("psi: element %d out of range", i)
+		e, err := s.DecodeElement(buf)
+		if err != nil {
+			return nil, fmt.Errorf("psi: element %d: %w", i, err)
 		}
-		out = append(out, v)
+		out = append(out, e)
 	}
 	return out, nil
+}
+
+// decodeCanonicalHex fills dst from exactly len(dst)*2 lowercase hex
+// characters. Anything else — wrong length, uppercase, non-hex bytes —
+// is an error: the wire form is canonical or it is rejected.
+func decodeCanonicalHex(dst []byte, text string) error {
+	if len(text) != 2*len(dst) {
+		return fmt.Errorf("encoding is %d hex chars, want %d", len(text), 2*len(dst))
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("encoding has non-canonical character %q at offset %d", c, i)
+		}
+	}
+	_, err := hex.Decode(dst, []byte(text))
+	return err
 }

@@ -147,12 +147,20 @@ func (c *Chaos) Query(ctx context.Context, piqlText, requester string) (*xmltree
 	return c.inner.Query(ctx, piqlText, requester)
 }
 
-// PSIBlinded implements source.Endpoint.
-func (c *Chaos) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error) {
+// PSISuites implements source.Endpoint.
+func (c *Chaos) PSISuites(ctx context.Context) ([]string, error) {
 	if err := c.inject(ctx); err != nil {
 		return nil, err
 	}
-	return c.inner.PSIBlinded(ctx, field)
+	return c.inner.PSISuites(ctx)
+}
+
+// PSIBlinded implements source.Endpoint.
+func (c *Chaos) PSIBlinded(ctx context.Context, field, suite string) (*xmltree.Node, error) {
+	if err := c.inject(ctx); err != nil {
+		return nil, err
+	}
+	return c.inner.PSIBlinded(ctx, field, suite)
 }
 
 // PSIExponentiate implements source.Endpoint.

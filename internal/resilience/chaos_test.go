@@ -25,7 +25,10 @@ func (s stubEndpoint) FetchProfiles(context.Context) ([]schemamatch.FieldProfile
 func (s stubEndpoint) Query(context.Context, string, string) (*xmltree.Node, error) {
 	return xmltree.NewElem("answer"), nil
 }
-func (s stubEndpoint) PSIBlinded(context.Context, string) (*xmltree.Node, error) {
+func (s stubEndpoint) PSISuites(context.Context) ([]string, error) {
+	return []string{"p256", "modp2048"}, nil
+}
+func (s stubEndpoint) PSIBlinded(context.Context, string, string) (*xmltree.Node, error) {
 	return xmltree.NewElem("elems"), nil
 }
 func (s stubEndpoint) PSIExponentiate(_ context.Context, e *xmltree.Node) (*xmltree.Node, error) {

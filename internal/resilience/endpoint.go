@@ -91,10 +91,17 @@ func (e *Endpoint) Query(ctx context.Context, piqlText, requester string) (*xmlt
 	})
 }
 
+// PSISuites implements source.Endpoint.
+func (e *Endpoint) PSISuites(ctx context.Context) ([]string, error) {
+	return call(ctx, e, func(ctx context.Context) ([]string, error) {
+		return e.inner.PSISuites(ctx)
+	})
+}
+
 // PSIBlinded implements source.Endpoint.
-func (e *Endpoint) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error) {
+func (e *Endpoint) PSIBlinded(ctx context.Context, field, suite string) (*xmltree.Node, error) {
 	return call(ctx, e, func(ctx context.Context) (*xmltree.Node, error) {
-		return e.inner.PSIBlinded(ctx, field)
+		return e.inner.PSIBlinded(ctx, field, suite)
 	})
 }
 

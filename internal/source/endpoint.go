@@ -4,7 +4,6 @@ import (
 	"context"
 	"crypto/rand"
 	"fmt"
-	"math/big"
 	"sync"
 
 	"privateiye/internal/linkage"
@@ -38,8 +37,14 @@ type Endpoint interface {
 	FetchProfiles(ctx context.Context) ([]schemamatch.FieldProfile, error)
 	// Query executes a PIQL fragment and returns the tagged XML answer.
 	Query(ctx context.Context, piqlText, requester string) (*xmltree.Node, error)
-	// PSIBlinded returns the source's blinded linkage items for a field.
-	PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error)
+	// PSISuites lists the PSI group suites this source supports, in
+	// preference order. The mediator intersects these across the fleet
+	// during schema refresh and fails closed to MODP when a peer
+	// predates suite negotiation.
+	PSISuites(ctx context.Context) ([]string, error)
+	// PSIBlinded returns the source's blinded linkage items for a
+	// field, in the named suite ("" = the source's preferred suite).
+	PSIBlinded(ctx context.Context, field, suite string) (*xmltree.Node, error)
 	// PSIExponentiate raises peer-blinded elements to this source's
 	// secret, preserving order.
 	PSIExponentiate(ctx context.Context, elems *xmltree.Node) (*xmltree.Node, error)
@@ -63,6 +68,12 @@ type Local struct {
 	LinkageSalt []byte
 	Group       *psi.Group
 
+	// AdvertisedSuites lists the PSI suites this source offers, in
+	// preference order; nil means the default advertisement — the fast
+	// EC suite first, then the Group's MODP suite as the interop floor.
+	// A legacy MODP-only deployment pins this to just its MODP name.
+	AdvertisedSuites []string
+
 	// Coalesce merges concurrent identical whole-column calls —
 	// PSIBlinded and LinkageRecords for the same field — into one shared
 	// computation. Unlike query coalescing at the mediator, nothing here
@@ -71,9 +82,9 @@ type Local struct {
 	// only materializes when several integration rounds race.
 	Coalesce bool
 
-	mu     sync.Mutex
-	party  *psi.Party
-	mBatch *obs.Histogram // items per whole-column PSI call; nil-safe
+	mu      sync.Mutex
+	parties map[string]*psi.Party // one per suite, lazily keyed by suite name
+	mBatch  *obs.Histogram        // items per whole-column PSI call; nil-safe
 
 	colMu  sync.Mutex
 	colFly map[string]*colFlight
@@ -181,38 +192,92 @@ func (l *Local) Query(ctx context.Context, piqlText, requester string) (*xmltree
 	return ans.Node, nil
 }
 
-func (l *Local) psiParty() (*psi.Party, error) {
+// modpSuiteName is the wire name of the Group's safe-prime suite.
+func (l *Local) modpSuiteName() string { return psi.ModPSuite(l.Group).Name() }
+
+// advertised returns the suites this source offers, in preference
+// order. Every resolvable name in AdvertisedSuites is honoured; by
+// default the source leads with the EC suite and keeps its MODP group
+// as the floor every peer can fall back to.
+func (l *Local) advertised() []string {
+	if len(l.AdvertisedSuites) > 0 {
+		return l.AdvertisedSuites
+	}
+	return []string{psi.SuiteNameP256, l.modpSuiteName()}
+}
+
+// PSISuites implements Endpoint.
+func (l *Local) PSISuites(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return append([]string(nil), l.advertised()...), nil
+}
+
+// suiteFor resolves a requested suite name against the advertisement:
+// "" means the source's preferred (first advertised) suite, and a name
+// the source does not advertise is refused — a source never serves a
+// group its operator did not opt into.
+func (l *Local) suiteFor(name string) (psi.Suite, error) {
+	adv := l.advertised()
+	if name == "" {
+		name = adv[0]
+	}
+	ok := false
+	for _, a := range adv {
+		if a == name {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("source %s: psi suite %q not advertised (have %v)", l.Src.Name(), name, adv)
+	}
+	if name == l.modpSuiteName() {
+		return psi.ModPSuite(l.Group), nil
+	}
+	return psi.SuiteByName(name)
+}
+
+func (l *Local) psiParty(suite psi.Suite) (*psi.Party, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.party == nil {
-		p, err := psi.NewParty(l.Group, rand.Reader)
-		if err != nil {
-			return nil, err
-		}
-		l.party = p.SetWorkers(l.Src.cfg.Workers)
-		if reg := l.Src.cfg.Obs; reg != nil {
-			// Sampled at scrape time from the party's atomic counters.
-			// The party lives as long as the endpoint, so the closures
-			// never outlive their subject.
-			name, party := l.Src.Name(), l.party
-			reg.Help("piye_psi_blind_items_total", "Items blinded in PSI rounds (cache hits included).")
-			reg.CounterFunc("piye_psi_blind_items_total", func() float64 {
-				b, _, _ := party.Stats()
-				return float64(b)
-			}, "source", name)
-			reg.CounterFunc("piye_psi_blind_cache_hits_total", func() float64 {
-				_, h, _ := party.Stats()
-				return float64(h)
-			}, "source", name)
-			reg.CounterFunc("piye_psi_exponentiate_items_total", func() float64 {
-				_, _, e := party.Stats()
-				return float64(e)
-			}, "source", name)
+	if p, ok := l.parties[suite.Name()]; ok {
+		return p, nil
+	}
+	p, err := psi.NewParty(suite, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	p.SetWorkers(l.Src.cfg.Workers)
+	if l.parties == nil {
+		l.parties = map[string]*psi.Party{}
+	}
+	l.parties[suite.Name()] = p
+	if reg := l.Src.cfg.Obs; reg != nil {
+		// Sampled at scrape time from the party's atomic counters.
+		// The party lives as long as the endpoint, so the closures
+		// never outlive their subject.
+		name, sName, party := l.Src.Name(), suite.Name(), p
+		reg.Help("piye_psi_blind_items_total", "Items blinded in PSI rounds (cache hits included).")
+		reg.CounterFunc("piye_psi_blind_items_total", func() float64 {
+			b, _, _ := party.Stats()
+			return float64(b)
+		}, "source", name, "suite", sName)
+		reg.CounterFunc("piye_psi_blind_cache_hits_total", func() float64 {
+			_, h, _ := party.Stats()
+			return float64(h)
+		}, "source", name, "suite", sName)
+		reg.CounterFunc("piye_psi_exponentiate_items_total", func() float64 {
+			_, _, e := party.Stats()
+			return float64(e)
+		}, "source", name, "suite", sName)
+		if l.mBatch == nil {
 			reg.Help("piye_psi_batch_items", "Items per whole-column PSI call (batched kernel entry).")
 			l.mBatch = reg.Histogram("piye_psi_batch_items", psiBatchBuckets, "source", name)
 		}
 	}
-	return l.party, nil
+	return p, nil
 }
 
 // items returns the linkage items of a field along with their record ids.
@@ -226,18 +291,22 @@ func (l *Local) items(field string) (ids, values []string) {
 }
 
 // PSIBlinded implements Endpoint.
-func (l *Local) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error) {
+func (l *Local) PSIBlinded(ctx context.Context, field, suite string) (*xmltree.Node, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	v, err := l.sharedColumn(ctx, "psi-blind\x00"+field, func() (any, error) {
-		p, err := l.psiParty()
+	s, err := l.suiteFor(suite)
+	if err != nil {
+		return nil, err
+	}
+	v, err := l.sharedColumn(ctx, "psi-blind\x00"+s.Name()+"\x00"+field, func() (any, error) {
+		p, err := l.psiParty(s)
 		if err != nil {
 			return nil, err
 		}
 		_, vals := l.items(field)
 		l.mBatch.Observe(float64(len(vals)))
-		return psi.MarshalElems(p.BlindBatch(vals)), nil
+		return psi.MarshalElems(s, p.BlindBatch(vals)), nil
 	})
 	if err != nil {
 		return nil, err
@@ -245,16 +314,26 @@ func (l *Local) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, er
 	return v.(*xmltree.Node), nil
 }
 
-// PSIExponentiate implements Endpoint.
+// PSIExponentiate implements Endpoint. The suite is read off the
+// envelope; envelopes from peers predating negotiation carry no suite
+// attribute and are decoded against this source's MODP group.
 func (l *Local) PSIExponentiate(ctx context.Context, elems *xmltree.Node) (*xmltree.Node, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, err := l.psiParty()
+	name := psi.WireSuiteName(elems)
+	if name == "" {
+		name = l.modpSuiteName() // legacy peer: fail closed to MODP
+	}
+	s, err := l.suiteFor(name)
 	if err != nil {
 		return nil, err
 	}
-	in, err := psi.UnmarshalElems(elems, l.Group)
+	p, err := l.psiParty(s)
+	if err != nil {
+		return nil, err
+	}
+	in, err := psi.UnmarshalElems(elems, s)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +342,7 @@ func (l *Local) PSIExponentiate(ctx context.Context, elems *xmltree.Node) (*xmlt
 	if err != nil {
 		return nil, err
 	}
-	return psi.MarshalElems(out), nil
+	return psi.MarshalElems(s, out), nil
 }
 
 // LinkageRecords implements Endpoint.
@@ -286,30 +365,35 @@ func (l *Local) LinkageRecords(ctx context.Context, field string) ([]linkage.Enc
 }
 
 // PSIDoubleBlind is a convenience for tests and the mediator: it completes
-// the initiator side against a responder endpoint. It returns the double-
-// blinded versions of this endpoint's items (order-preserving) and of the
+// the initiator side against a responder endpoint in the named suite
+// ("" = the initiator's preferred suite). It returns the double-blinded
+// versions of this endpoint's items (order-preserving) and of the
 // responder's items.
-func PSIDoubleBlind(ctx context.Context, initiator *Local, responder Endpoint, field string) (own, theirs []*big.Int, err error) {
-	p, err := initiator.psiParty()
+func PSIDoubleBlind(ctx context.Context, initiator *Local, responder Endpoint, field, suite string) (own, theirs []psi.Element, err error) {
+	s, err := initiator.suiteFor(suite)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := initiator.psiParty(s)
 	if err != nil {
 		return nil, nil, err
 	}
 	_, vals := initiator.items(field)
 	initiator.mBatch.Observe(float64(len(vals)))
-	blindedOwn := psi.MarshalElems(p.BlindBatch(vals))
+	blindedOwn := psi.MarshalElems(s, p.BlindBatch(vals))
 	ownDouble, err := responder.PSIExponentiate(ctx, blindedOwn)
 	if err != nil {
 		return nil, nil, err
 	}
-	own, err = psi.UnmarshalElems(ownDouble, initiator.Group)
+	own, err = psi.UnmarshalElems(ownDouble, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	theirBlinded, err := responder.PSIBlinded(ctx, field)
+	theirBlinded, err := responder.PSIBlinded(ctx, field, s.Name())
 	if err != nil {
 		return nil, nil, err
 	}
-	theirElems, err := psi.UnmarshalElems(theirBlinded, initiator.Group)
+	theirElems, err := psi.UnmarshalElems(theirBlinded, s)
 	if err != nil {
 		return nil, nil, err
 	}

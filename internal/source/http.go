@@ -16,6 +16,7 @@ import (
 	"privateiye/internal/linkage"
 	"privateiye/internal/obs"
 	"privateiye/internal/policy"
+	"privateiye/internal/psi"
 	"privateiye/internal/schemamatch"
 	"privateiye/internal/xmltree"
 )
@@ -102,13 +103,22 @@ func NewHandler(l *Local) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 
+	mux.HandleFunc("GET /psi/suites", func(w http.ResponseWriter, r *http.Request) {
+		suites, err := l.PSISuites(r.Context())
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeNode(w, suitesToNode(suites))
+	})
+
 	mux.HandleFunc("GET /psi/blinded", func(w http.ResponseWriter, r *http.Request) {
 		field := r.URL.Query().Get("field")
 		if field == "" {
 			fail(w, http.StatusBadRequest, fmt.Errorf("source: missing field"))
 			return
 		}
-		node, err := l.PSIBlinded(r.Context(), field)
+		node, err := l.PSIBlinded(r.Context(), field, r.URL.Query().Get("suite"))
 		if err != nil {
 			fail(w, http.StatusInternalServerError, err)
 			return
@@ -362,9 +372,57 @@ func (c *Client) Query(ctx context.Context, piqlText, requester string) (*xmltre
 	return c.do(req)
 }
 
+// suitesToNode encodes a suite advertisement:
+//
+//	<psi-suites><s>p256</s><s>modp2048</s></psi-suites>
+func suitesToNode(suites []string) *xmltree.Node {
+	root := xmltree.NewElem("psi-suites")
+	for _, s := range suites {
+		root.Append(xmltree.NewText("s", s))
+	}
+	return root
+}
+
+// suitesFromNode decodes a suite advertisement.
+func suitesFromNode(n *xmltree.Node) ([]string, error) {
+	if n.Name != "psi-suites" {
+		return nil, fmt.Errorf("source: expected <psi-suites>, got <%s>", n.Name)
+	}
+	var out []string
+	for _, c := range n.ChildrenNamed("s") {
+		if c.Text != "" {
+			out = append(out, c.Text)
+		}
+	}
+	return out, nil
+}
+
+// PSISuites implements Endpoint. Nodes predating suite negotiation have
+// no /psi/suites route; their 404/405/501 answers mean "MODP-2048
+// only", the suite every deployment supported before negotiation
+// existed — the fail-closed floor, not an error.
+func (c *Client) PSISuites(ctx context.Context) ([]string, error) {
+	n, err := c.getNode(ctx, "/psi/suites")
+	if err != nil {
+		var he *HTTPError
+		if errors.As(err, &he) {
+			switch he.Status {
+			case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+				return []string{psi.SuiteNameModP2048}, nil
+			}
+		}
+		return nil, err
+	}
+	return suitesFromNode(n)
+}
+
 // PSIBlinded implements Endpoint.
-func (c *Client) PSIBlinded(ctx context.Context, field string) (*xmltree.Node, error) {
-	return c.getNode(ctx, "/psi/blinded?field="+url.QueryEscape(field))
+func (c *Client) PSIBlinded(ctx context.Context, field, suite string) (*xmltree.Node, error) {
+	path := "/psi/blinded?field=" + url.QueryEscape(field)
+	if suite != "" {
+		path += "&suite=" + url.QueryEscape(suite)
+	}
+	return c.getNode(ctx, path)
 }
 
 // PSIExponentiate implements Endpoint.

@@ -3,6 +3,7 @@ package source
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -344,7 +345,7 @@ func TestHTTPEndpointParity(t *testing.T) {
 	}
 
 	// PSI round trip over HTTP.
-	blinded, err := client.PSIBlinded(bg, "sex")
+	blinded, err := client.PSIBlinded(bg, "sex", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,17 +387,18 @@ func TestPSIDoubleBlindIntersection(t *testing.T) {
 	}
 	a := mk("A", []string{"alice", "bob", "carol"})
 	b := mk("B", []string{"carol", "dave", "alice"})
-	own, theirs, err := PSIDoubleBlind(bg, a, b, "name")
+	own, theirs, err := PSIDoubleBlind(bg, a, b, "name", "")
 	if err != nil {
 		t.Fatal(err)
 	}
+	suite := psi.P256Suite() // both sources default-prefer the EC suite
 	inB := map[string]bool{}
 	for _, e := range theirs {
-		inB[string(e.Bytes())] = true
+		inB[string(suite.AppendElement(nil, e))] = true
 	}
 	matches := 0
 	for _, e := range own {
-		if inB[string(e.Bytes())] {
+		if inB[string(suite.AppendElement(nil, e))] {
 			matches++
 		}
 	}
@@ -694,5 +696,39 @@ func TestLocalEndpointName(t *testing.T) {
 	local, _ := NewLocal(src, []byte("s"), psi.TestGroup())
 	if local.Name() != "hospitalA" {
 		t.Errorf("name = %q", local.Name())
+	}
+}
+
+func TestClientPSISuitesLegacyServer(t *testing.T) {
+	// A pre-curve server has no /psi/suites route; the client must
+	// report the MODP floor, not an error, so negotiation fails closed
+	// instead of failing the refresh.
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer legacy.Close()
+	c := NewClient(legacy.URL, "legacy")
+	suites, err := c.PSISuites(bg)
+	if err != nil {
+		t.Fatalf("legacy 404 should downgrade, not error: %v", err)
+	}
+	if len(suites) != 1 || suites[0] != psi.SuiteNameModP2048 {
+		t.Fatalf("suites = %v, want [%s]", suites, psi.SuiteNameModP2048)
+	}
+
+	// A current server advertises the curve first.
+	src := hospitalSource(t)
+	local, err := NewLocal(src, []byte("salt"), psi.TestGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(NewHandler(local))
+	defer server.Close()
+	got, err := NewClient(server.URL, "hospitalA").PSISuites(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != psi.SuiteNameP256 || got[1] != psi.SuiteNameModP768 {
+		t.Fatalf("advertised = %v, want [p256 modp768]", got)
 	}
 }
